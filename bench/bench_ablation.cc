@@ -1,0 +1,134 @@
+// Reproduces the two textual ablations in §4.1 of the paper:
+//
+//  --what=leaf     ART/B+tree leaf capacity 4 KiB -> 8 KiB: trades update
+//                  throughput for scan throughput (paper: the PMA's scan
+//                  lead shrinks to 10-20%, while its update throughput
+//                  becomes superior under uniform keys).
+//  --what=segment  PMA segment capacity 128 -> 256: ~15% faster scans,
+//                  ~15% slower uniform updates, faster skewed updates
+//                  (fewer rebalances with larger segments).
+//  --what=rewire   extra ablation from DESIGN.md: rebalances with memory
+//                  rewiring vs the two-copy fallback.
+//  --what=adaptive extra ablation: adaptive vs traditional rebalancing
+//                  under skewed insertions (sequential PMA counters).
+
+#include <cinttypes>
+#include <memory>
+
+#include "baselines/art/art.h"
+#include "concurrent/concurrent_pma.h"
+#include "driver.h"
+#include "pma/sequential_pma.h"
+
+namespace cpma::bench {
+namespace {
+
+WorkloadConfig BaseConfig(size_t ops, uint64_t range, Dist dist) {
+  WorkloadConfig w;
+  w.num_ops = ops;
+  w.key_range = range;
+  w.dist = dist;
+  w.update_threads = 8;
+  w.scan_threads = 8;
+  return w;
+}
+
+std::unique_ptr<ConcurrentPMA> MakePma(size_t segment_capacity,
+                                       bool use_rewiring = true) {
+  ConcurrentConfig cfg;
+  cfg.pma.segment_capacity = segment_capacity;
+  cfg.pma.use_rewiring = use_rewiring;
+  cfg.segments_per_gate = 8;
+  cfg.rebalancer_workers = 8;
+  cfg.async_mode = ConcurrentConfig::AsyncMode::kBatch;
+  cfg.t_delay_ms = 100;
+  return std::make_unique<ConcurrentPMA>(cfg);
+}
+
+void Row(const char* label, OrderedMap* m, const WorkloadConfig& w) {
+  WorkloadResult r = RunWorkload(m, w);
+  std::printf("%-22s %-10s %14.3f %14.3f\n", label, DistName(w.dist),
+              r.update_mops, r.scan_meps);
+  std::fflush(stdout);
+}
+
+void LeafAblation(size_t ops, uint64_t range) {
+  std::printf("\n=== Ablation: ART/B+tree leaf size (paper §4.1) ===\n");
+  std::printf("%-22s %-10s %14s %14s\n", "structure", "dist",
+              "updates[M/s]", "scans[Melt/s]");
+  for (Dist d : {Dist::kUniform, Dist::kZipf15}) {
+    for (size_t leaf : {4096u, 8192u}) {
+      ArtBTree art(leaf);
+      Row(leaf == 4096 ? "ART(4KiB leaves)" : "ART(8KiB leaves)", &art,
+          BaseConfig(ops, range, d));
+    }
+    auto pma = MakePma(128);
+    Row("PMA(B=128)", pma.get(), BaseConfig(ops, range, d));
+  }
+}
+
+void SegmentAblation(size_t ops, uint64_t range) {
+  std::printf("\n=== Ablation: PMA segment capacity (paper §4.1) ===\n");
+  std::printf("%-22s %-10s %14s %14s\n", "structure", "dist",
+              "updates[M/s]", "scans[Melt/s]");
+  for (Dist d : {Dist::kUniform, Dist::kZipf15}) {
+    for (size_t seg : {128u, 256u}) {
+      auto pma = MakePma(seg);
+      Row(seg == 128 ? "PMA(B=128)" : "PMA(B=256)", pma.get(),
+          BaseConfig(ops, range, d));
+    }
+  }
+}
+
+void RewireAblation(size_t ops, uint64_t range) {
+  std::printf("\n=== Ablation: memory rewiring vs copy rebalances ===\n");
+  std::printf("%-22s %-10s %14s %14s\n", "structure", "dist",
+              "updates[M/s]", "scans[Melt/s]");
+  for (Dist d : {Dist::kUniform, Dist::kZipf15}) {
+    for (bool rewire : {true, false}) {
+      auto pma = MakePma(128, rewire);
+      Row(rewire ? "PMA(rewired)" : "PMA(two-copy)", pma.get(),
+          BaseConfig(ops, range, d));
+    }
+  }
+}
+
+void AdaptiveAblation(size_t ops, uint64_t range) {
+  std::printf(
+      "\n=== Ablation: adaptive vs traditional rebalancing (sequential) "
+      "===\n");
+  std::printf("%-22s %-10s %14s %16s\n", "policy", "pattern",
+              "updates[M/s]", "rebalances");
+  for (bool adaptive : {true, false}) {
+    PmaConfig cfg;
+    cfg.segment_capacity = 128;
+    cfg.adaptive = adaptive;
+    SequentialPMA pma(cfg);
+    // Skewed pattern: ascending run inserted into a pre-populated array.
+    for (Key k = 0; k < ops / 4; ++k) pma.Insert(k * 997, k);
+    Timer t;
+    for (Key k = 0; k < ops; ++k) pma.Insert((1ull << 40) + k, k);
+    const double secs = t.ElapsedSeconds();
+    std::printf("%-22s %-10s %14.3f %16" PRIu64 "\n",
+                adaptive ? "adaptive" : "traditional", "asc-run",
+                static_cast<double>(ops) / secs / 1e6, pma.num_rebalances());
+  }
+  (void)range;
+}
+
+}  // namespace
+}  // namespace cpma::bench
+
+int main(int argc, char** argv) {
+  using namespace cpma::bench;
+  Flags flags(argc, argv);
+  const size_t ops = flags.GetInt("ops", 1 << 20);
+  const uint64_t range = flags.GetInt("range", 1ull << 27);
+  const std::string what = flags.Get("what", "all");
+  std::printf("# bench_ablation: ops=%zu range=%" PRIu64 "\n", ops, range);
+  if (what == "leaf" || what == "all") LeafAblation(ops, range);
+  if (what == "segment" || what == "all") SegmentAblation(ops, range);
+  if (what == "rewire" || what == "all") RewireAblation(ops, range);
+  if (what == "adaptive" || what == "all") AdaptiveAblation(ops, range);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Dynamic-graph benchmark (paper §6): a power-law edge stream is
+// inserted by updater threads while analytics threads repeatedly run
+// BFS / PageRank over the live CRS-on-PMA representation — the
+// "analytics on a constantly changing graph" workload from the paper's
+// introduction. Reports sustained edge-update throughput and analytics
+// rounds per second.
+//
+// Usage: bench_graph [--edges=N] [--vertices=V] [--updaters=U]
+//                    [--analytics=A]
+
+#include <atomic>
+#include <cinttypes>
+#include <thread>
+#include <vector>
+
+#include "driver.h"
+#include "graph/algorithms.h"
+#include "graph/dynamic_graph.h"
+
+int main(int argc, char** argv) {
+  using namespace cpma;
+  using namespace cpma::bench;
+  Flags flags(argc, argv);
+  const size_t edges = flags.GetInt("edges", 1 << 20);
+  const uint64_t vertices = flags.GetInt("vertices", 1 << 16);
+  const int updaters = static_cast<int>(flags.GetInt("updaters", 8));
+  const int analytics = static_cast<int>(flags.GetInt("analytics", 4));
+
+  std::printf("# bench_graph: edges=%zu vertices=%" PRIu64
+              " updaters=%d analytics=%d\n",
+              edges, vertices, updaters, analytics);
+
+  DynamicGraph g;
+  // Backbone so BFS always reaches a core (and a power-law stream).
+  for (VertexId v = 0; v + 1 < 1024; ++v) g.AddEdge(v, v + 1);
+  g.Flush();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> bfs_rounds{0}, pr_rounds{0};
+  std::vector<std::thread> readers;
+  for (int a = 0; a < analytics; ++a) {
+    readers.emplace_back([&, a] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (a % 2 == 0) {
+          volatile auto d = Bfs(g, 0).size();
+          (void)d;
+          bfs_rounds.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          volatile auto r = PageRank(g, 3).size();
+          (void)r;
+          pr_rounds.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  Timer timer;
+  std::vector<std::thread> writers;
+  for (int u = 0; u < updaters; ++u) {
+    writers.emplace_back([&, u] {
+      Random rng(7 + static_cast<uint64_t>(u));
+      ZipfDistribution src_dist(vertices, 1.2);  // power-law sources
+      const size_t n = edges / static_cast<size_t>(updaters);
+      for (size_t i = 0; i < n; ++i) {
+        const VertexId s = static_cast<VertexId>(src_dist.Sample(rng) - 1);
+        const VertexId d =
+            static_cast<VertexId>(rng.NextBounded(vertices));
+        if (i % 8 == 7) {
+          g.RemoveEdge(s, d);  // some churn
+        } else {
+          g.AddEdge(s, d, i);
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  g.Flush();
+  const double secs = timer.ElapsedSeconds();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  std::printf("%-28s %12.3f M/s\n", "edge updates",
+              static_cast<double>(edges) / secs / 1e6);
+  std::printf("%-28s %12.2f rounds/s\n", "BFS (concurrent)",
+              static_cast<double>(bfs_rounds.load()) / secs);
+  std::printf("%-28s %12.2f rounds/s\n", "PageRank-3 (concurrent)",
+              static_cast<double>(pr_rounds.load()) / secs);
+  std::printf("%-28s %12zu\n", "final |E|", g.NumEdges());
+  std::printf("%-28s %12" PRIu64 "\n", "PMA resizes",
+              g.edges().num_resizes());
+  std::printf("%-28s %12" PRIu64 "\n", "global rebalances",
+              g.edges().num_global_rebalances());
+  return 0;
+}

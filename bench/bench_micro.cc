@@ -1,0 +1,164 @@
+// Micro-benchmarks (google-benchmark) for the substrates: sequential PMA
+// operations, rewired vs copy-based spreads, static index lookups, gate
+// latch acquisition, epoch enter/exit and Zipf sampling. These back the
+// per-component claims in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "common/epoch_gc.h"
+#include "common/random.h"
+#include "common/zipf.h"
+#include "concurrent/concurrent_pma.h"
+#include "concurrent/gate.h"
+#include "concurrent/static_index.h"
+#include "pma/sequential_pma.h"
+#include "pma/spread.h"
+#include "rewiring/rewiring.h"
+
+namespace cpma {
+namespace {
+
+void BM_SequentialPmaInsertUniform(benchmark::State& state) {
+  SequentialPMA pma;
+  Random rng(1);
+  for (auto _ : state) {
+    pma.Insert(rng.NextBounded(1 << 27), 1);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SequentialPmaInsertUniform);
+
+void BM_SequentialPmaInsertSequential(benchmark::State& state) {
+  SequentialPMA pma;
+  Key k = 0;
+  for (auto _ : state) {
+    pma.Insert(k++, 1);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SequentialPmaInsertSequential);
+
+void BM_SequentialPmaFind(benchmark::State& state) {
+  SequentialPMA pma;
+  Random rng(2);
+  for (int i = 0; i < 1 << 20; ++i) pma.Insert(rng.NextBounded(1 << 27), i);
+  for (auto _ : state) {
+    Value v;
+    benchmark::DoNotOptimize(pma.Find(rng.NextBounded(1 << 27), &v));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SequentialPmaFind);
+
+void BM_SequentialPmaScan(benchmark::State& state) {
+  SequentialPMA pma;
+  Random rng(3);
+  for (int i = 0; i < 1 << 20; ++i) pma.Insert(rng.NextBounded(1 << 27), i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pma.SumAll());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pma.Size()));
+}
+BENCHMARK(BM_SequentialPmaScan);
+
+void BM_RewiredSwap(benchmark::State& state) {
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  auto region = RewiredRegion::Create(bytes, bytes);
+  for (auto _ : state) {
+    region->SwapPages(0, 0, bytes);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+  state.SetLabel(region->rewiring_enabled() ? "mmap-rewiring"
+                                            : "memcpy-fallback");
+}
+BENCHMARK(BM_RewiredSwap)->Range(1 << 14, 1 << 22);
+
+void BM_SpreadRewiredVsCopy(benchmark::State& state) {
+  const bool rewire = state.range(0) != 0;
+  Storage st(1024, 128, rewire);
+  // Fill half full.
+  Key k = 1;
+  for (size_t s = 0; s < 1024; ++s) {
+    for (uint32_t i = 0; i < 64; ++i) st.segment(s)[i] = {k++, 1};
+    st.set_card(s, 64);
+  }
+  st.RebuildRoutes(0, 1024);
+  for (auto _ : state) {
+    WindowPlan plan = PlanSpread(st, 0, 1024, false, SIZE_MAX);
+    CopyPartitionToBuffer(&st, plan, 0, 1024);
+    FinishSpread(&st, plan);
+  }
+  state.SetLabel(rewire ? "rewired" : "copy");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64 *
+                          1024);
+}
+BENCHMARK(BM_SpreadRewiredVsCopy)->Arg(1)->Arg(0);
+
+void BM_StaticIndexLookup(benchmark::State& state) {
+  const size_t gates = static_cast<size_t>(state.range(0));
+  StaticIndex idx(gates, 16);
+  for (size_t g = 0; g < gates; ++g) {
+    idx.SetSeparator(g, g == 0 ? kKeyMin : g * 1000);
+  }
+  Random rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.Lookup(rng.NextBounded(gates * 1000)));
+  }
+}
+BENCHMARK(BM_StaticIndexLookup)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_GateAcquireRelease(benchmark::State& state) {
+  Gate gate(0, 0, 8);
+  Key key = 1;
+  for (auto _ : state) {
+    gate.ReaderAccess(&key);
+    gate.ReaderRelease();
+  }
+}
+BENCHMARK(BM_GateAcquireRelease);
+
+void BM_EpochEnterExit(benchmark::State& state) {
+  static EpochGC gc;
+  for (auto _ : state) {
+    EpochGuard guard(gc);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_EpochEnterExit);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution zipf(1ull << 27, 1.5);
+  Random rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_ConcurrentPmaInsertMT(benchmark::State& state) {
+  static ConcurrentPMA* pma = nullptr;
+  if (state.thread_index() == 0) {
+    ConcurrentConfig cfg;
+    cfg.async_mode = ConcurrentConfig::AsyncMode::kBatch;
+    cfg.t_delay_ms = 100;
+    pma = new ConcurrentPMA(cfg);
+  }
+  Random rng(100 + static_cast<uint64_t>(state.thread_index()));
+  for (auto _ : state) {
+    pma->Insert(rng.NextBounded(1 << 27), 1);
+  }
+  if (state.thread_index() == 0) {
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.threads());
+    delete pma;
+    pma = nullptr;
+  }
+}
+BENCHMARK(BM_ConcurrentPmaInsertMT)->Threads(1)->Threads(4)->Threads(8);
+
+}  // namespace
+}  // namespace cpma
+
+BENCHMARK_MAIN();

@@ -1,0 +1,178 @@
+// Benchmark driver reproducing the paper's evaluation methodology (§4):
+// a pool of updater threads and a pool of scanner threads run against one
+// OrderedMap; updaters draw keys from the uniform or Zipfian distribution
+// over [1, 2^27]; scanners repeatedly fold the whole structure in sorted
+// order. Reported numbers are elements/second, separately for updates
+// and scans, exactly like Figure 3's paired panels.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/ordered_map.h"
+#include "common/pin.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "common/zipf.h"
+
+namespace cpma::bench {
+
+enum class Dist { kUniform, kZipf1, kZipf15, kZipf2 };
+
+inline const char* DistName(Dist d) {
+  switch (d) {
+    case Dist::kUniform: return "uniform";
+    case Dist::kZipf1: return "zipf-1.0";
+    case Dist::kZipf15: return "zipf-1.5";
+    case Dist::kZipf2: return "zipf-2.0";
+  }
+  return "?";
+}
+
+inline KeyDistribution MakeDist(Dist d, uint64_t range) {
+  switch (d) {
+    case Dist::kUniform: return KeyDistribution::Uniform(range);
+    case Dist::kZipf1: return KeyDistribution::Zipf(range, 1.0);
+    case Dist::kZipf15: return KeyDistribution::Zipf(range, 1.5);
+    case Dist::kZipf2: return KeyDistribution::Zipf(range, 2.0);
+  }
+  return KeyDistribution::Uniform(range);
+}
+
+struct WorkloadConfig {
+  size_t num_ops = 1 << 21;            // paper: 1G; scaled (see --ops)
+  uint64_t key_range = 1ull << 27;     // beta in the paper
+  Dist dist = Dist::kUniform;
+  int update_threads = 16;
+  int scan_threads = 0;
+  bool mixed = false;                  // fig 3 d-f: insert/delete rounds
+  size_t preload = 0;                  // elements before measuring
+  uint64_t seed = 42;
+};
+
+struct WorkloadResult {
+  double update_mops = 0;   // updates per second, millions
+  double scan_meps = 0;     // scanned elements per second, millions
+  double seconds = 0;
+};
+
+/// Run one cell of Figure 3: `update_threads` updaters apply num_ops
+/// updates total (insert-only, or alternating insert/delete rounds when
+/// mixed), while `scan_threads` scanners fold the structure continuously.
+inline WorkloadResult RunWorkload(OrderedMap* map,
+                                  const WorkloadConfig& cfg) {
+  if (cfg.preload > 0) {
+    // Parallel preload with uniform keys (paper: structure already
+    // storing the data for the mixed runs).
+    const int loaders = cfg.update_threads;
+    std::vector<std::thread> pre;
+    for (int t = 0; t < loaders; ++t) {
+      pre.emplace_back([&, t] {
+        Random rng(cfg.seed + 1000 + static_cast<uint64_t>(t));
+        auto dist = MakeDist(cfg.dist, cfg.key_range);
+        const size_t n = cfg.preload / loaders;
+        for (size_t i = 0; i < n; ++i) {
+          map->Insert(dist.Sample(rng), i);
+        }
+      });
+    }
+    for (auto& t : pre) t.join();
+    map->Flush();
+  }
+
+  std::atomic<bool> stop_scanners{false};
+  std::atomic<uint64_t> scanned{0};
+  std::atomic<uint64_t> update_count{0};
+  std::vector<std::thread> threads;
+
+  Timer timer;
+  for (int t = 0; t < cfg.update_threads; ++t) {
+    threads.emplace_back([&, t] {
+      PinThisThread(static_cast<unsigned>(t));
+      Random rng(cfg.seed + static_cast<uint64_t>(t));
+      auto dist = MakeDist(cfg.dist, cfg.key_range);
+      const size_t n = cfg.num_ops / static_cast<size_t>(cfg.update_threads);
+      if (!cfg.mixed) {
+        for (size_t i = 0; i < n; ++i) {
+          map->Insert(dist.Sample(rng), i);
+        }
+        update_count.fetch_add(n, std::memory_order_relaxed);
+      } else {
+        // Rounds of insertions followed by the same deletions (paper:
+        // 16M inserts then 16M deletes, ~1.5% of the initial size).
+        const size_t round = std::max<size_t>(n / 8, 1);
+        size_t done = 0;
+        std::vector<Key> keys(round);
+        while (done < n) {
+          const size_t batch = std::min(round, (n - done) / 2 + 1);
+          for (size_t i = 0; i < batch; ++i) {
+            keys[i] = dist.Sample(rng);
+            map->Insert(keys[i], i);
+          }
+          for (size_t i = 0; i < batch; ++i) map->Remove(keys[i]);
+          done += 2 * batch;
+        }
+        update_count.fetch_add(done, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> scanners;
+  for (int t = 0; t < cfg.scan_threads; ++t) {
+    scanners.emplace_back([&, t] {
+      PinThisThread(static_cast<unsigned>(cfg.update_threads + t));
+      uint64_t local = 0;
+      while (!stop_scanners.load(std::memory_order_relaxed)) {
+        const size_t size_now = map->Size();
+        volatile uint64_t sink = map->SumAll();
+        (void)sink;
+        local += size_now;
+      }
+      scanned.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  map->Flush();
+  const double secs = timer.ElapsedSeconds();
+  stop_scanners.store(true);
+  for (auto& t : scanners) t.join();
+
+  WorkloadResult r;
+  r.seconds = secs;
+  r.update_mops =
+      static_cast<double>(update_count.load()) / secs / 1e6;
+  r.scan_meps = static_cast<double>(scanned.load()) / secs / 1e6;
+  return r;
+}
+
+/// Minimal --flag=value parser for the bench binaries.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto eq = arg.find('=');
+      if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+        kv_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+  std::string Get(const std::string& k, const std::string& def) const {
+    auto it = kv_.find(k);
+    return it == kv_.end() ? def : it->second;
+  }
+  uint64_t GetInt(const std::string& k, uint64_t def) const {
+    auto it = kv_.find(k);
+    return it == kv_.end() ? def : std::stoull(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace cpma::bench

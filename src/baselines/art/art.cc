@@ -1,0 +1,536 @@
+#include "baselines/art/art.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/status.h"
+
+namespace cpma {
+
+namespace {
+constexpr uint8_t kNode4 = 0;
+constexpr uint8_t kNode16 = 1;
+constexpr uint8_t kNode48 = 2;
+constexpr uint8_t kNode256 = 3;
+constexpr unsigned kMaxLevel = 7;  // 8-byte keys, one byte per level
+}  // namespace
+
+struct ArtBTree::ArtNode {
+  OptimisticLock lock;
+  uint8_t type;
+  uint16_t num_children = 0;
+  // Node4/16: sorted key bytes + children. Node48: indirection table.
+  // Node256: direct. A single struct keeps the code compact; memory per
+  // node is sized by AllocNode according to `type`.
+  uint8_t keys[16];
+  uint8_t child_index[256];  // Node48 only
+  void* children[256];       // first 4/16/48/256 entries used
+
+  /// Child for byte b, or nullptr. Safe to call concurrently with
+  /// writers; the caller validates the node version afterwards.
+  void* GetChild(uint8_t b) const {
+    switch (type) {
+      case kNode4:
+      case kNode16:
+        for (unsigned i = 0; i < num_children; ++i) {
+          if (keys[i] == b) return children[i];
+        }
+        return nullptr;
+      case kNode48: {
+        uint8_t idx = child_index[b];
+        return idx == 0xFF ? nullptr : children[idx];
+      }
+      default:
+        return children[b];
+    }
+  }
+
+  /// Largest byte strictly below b that has a child; -1 if none.
+  int LowerByte(uint8_t b) const {
+    int best = -1;
+    switch (type) {
+      case kNode4:
+      case kNode16:
+        for (unsigned i = 0; i < num_children; ++i) {
+          if (keys[i] < b && keys[i] > best) best = keys[i];
+        }
+        return best;
+      case kNode48:
+        for (int i = b - 1; i >= 0; --i) {
+          if (child_index[i] != 0xFF) return i;
+        }
+        return -1;
+      default:
+        for (int i = b - 1; i >= 0; --i) {
+          if (children[i] != nullptr) return i;
+        }
+        return -1;
+    }
+  }
+
+  /// Largest byte with a child; -1 if the node is empty.
+  int MaxByte() const { return LowerByte(0xFF) >= 0 || GetChild(0xFF)
+                                   ? (GetChild(0xFF) ? 0xFF : LowerByte(0xFF))
+                                   : -1; }
+
+  bool IsFull() const {
+    switch (type) {
+      case kNode4: return num_children == 4;
+      case kNode16: return num_children == 16;
+      case kNode48: return num_children == 48;
+      default: return false;
+    }
+  }
+
+  /// Caller holds the write lock and guarantees capacity.
+  void AddChild(uint8_t b, void* child) {
+    switch (type) {
+      case kNode4:
+      case kNode16: {
+        unsigned pos = 0;
+        while (pos < num_children && keys[pos] < b) ++pos;
+        std::memmove(keys + pos + 1, keys + pos, num_children - pos);
+        std::memmove(children + pos + 1, children + pos,
+                     (num_children - pos) * sizeof(void*));
+        keys[pos] = b;
+        children[pos] = child;
+        ++num_children;
+        break;
+      }
+      case kNode48:
+        children[num_children] = child;
+        child_index[b] = static_cast<uint8_t>(num_children);
+        ++num_children;
+        break;
+      default:
+        children[b] = child;
+        ++num_children;
+        break;
+    }
+  }
+};
+
+struct ArtBTree::LeafPage {
+  explicit LeafPage(Key low_key) : low(low_key) {}
+  const Key low;  // immutable fence: all items have key >= low
+  mutable FairSharedMutex latch;
+  std::vector<Item> items;  // sorted
+  LeafPage* next = nullptr;
+
+  size_t LowerBound(Key key) const {
+    size_t lo = 0, hi = items.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (items[mid].key < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+};
+
+void* ArtBTree::AllocNode(uint8_t type) {
+  auto* n = new ArtNode();
+  n->type = type;
+  if (type == kNode48) std::memset(n->child_index, 0xFF, 256);
+  if (type == kNode256) {
+    std::memset(n->children, 0, sizeof(n->children));
+  }
+  std::lock_guard<std::mutex> g(alloc_mu_);
+  all_nodes_.push_back(n);
+  return n;
+}
+
+ArtBTree::ArtBTree(size_t leaf_bytes)
+    : leaf_capacity_(leaf_bytes / sizeof(Item)) {
+  CPMA_CHECK(leaf_capacity_ >= 4);
+  root_ = static_cast<ArtNode*>(AllocNode(kNode256));
+  first_page_ = new LeafPage(kKeyMin);
+  first_page_->items.reserve(leaf_capacity_);
+  {
+    std::lock_guard<std::mutex> g(alloc_mu_);
+    all_pages_.push_back(first_page_);
+  }
+  TrieInsert(kKeyMin, first_page_);
+}
+
+ArtBTree::~ArtBTree() {
+  for (void* n : all_nodes_) delete static_cast<ArtNode*>(n);
+  for (LeafPage* p : all_pages_) delete p;
+}
+
+void ArtBTree::TrieInsert(Key key, LeafPage* page) {
+  // Optimistic lock coupling; restart on any version conflict.
+  for (;;) {
+    ArtNode* parent = nullptr;
+    uint64_t parent_version = 0;
+    ArtNode* node = root_;
+    bool ok = false;
+    uint64_t version = node->lock.ReadLockOrRestart(ok);
+    if (!ok) continue;
+    unsigned level = 0;
+    bool restart = false;
+    for (; level <= kMaxLevel && !restart;) {
+      const uint8_t b = KeyByte(key, level);
+      void* child = node->GetChild(b);
+      if (!node->lock.CheckOrRestart(version)) {
+        restart = true;
+        break;
+      }
+      if (child == nullptr) {
+        // Attach a fresh path (possibly growing the node first).
+        if (node->IsFull()) {
+          // Grow: lock parent + node, replace node in parent.
+          CPMA_CHECK(parent != nullptr);  // root is N256, never full
+          if (!parent->lock.UpgradeToWriteLock(parent_version)) {
+            restart = true;
+            break;
+          }
+          if (!node->lock.UpgradeToWriteLock(version)) {
+            parent->lock.WriteUnlock();
+            restart = true;
+            break;
+          }
+          uint8_t new_type =
+              node->type == kNode4 ? kNode16
+                                   : (node->type == kNode16 ? kNode48
+                                                            : kNode256);
+          auto* bigger = static_cast<ArtNode*>(AllocNode(new_type));
+          // Copy children.
+          for (unsigned byte = 0; byte < 256; ++byte) {
+            void* c = node->GetChild(static_cast<uint8_t>(byte));
+            if (c != nullptr) {
+              bigger->AddChild(static_cast<uint8_t>(byte), c);
+            }
+          }
+          bigger->AddChild(b, nullptr);  // placeholder, replaced below
+          // Build the remaining path into the placeholder slot.
+          void* tail = page;
+          for (unsigned l = kMaxLevel; l > level; --l) {
+            auto* link = static_cast<ArtNode*>(AllocNode(kNode4));
+            link->AddChild(KeyByte(key, l), tail);
+            tail = link;
+          }
+          // Replace placeholder.
+          switch (bigger->type) {
+            case kNode16: {
+              for (unsigned i = 0; i < bigger->num_children; ++i) {
+                if (bigger->keys[i] == b) bigger->children[i] = tail;
+              }
+              break;
+            }
+            case kNode48:
+              bigger->children[bigger->child_index[b]] = tail;
+              break;
+            default:
+              bigger->children[b] = tail;
+              break;
+          }
+          // Install in parent.
+          const uint8_t pb = KeyByte(key, level - 1);
+          switch (parent->type) {
+            case kNode4:
+            case kNode16:
+              for (unsigned i = 0; i < parent->num_children; ++i) {
+                if (parent->keys[i] == pb) parent->children[i] = bigger;
+              }
+              break;
+            case kNode48:
+              parent->children[parent->child_index[pb]] = bigger;
+              break;
+            default:
+              parent->children[pb] = bigger;
+              break;
+          }
+          node->lock.WriteUnlockObsolete();
+          parent->lock.WriteUnlock();
+          return;
+        }
+        // Node has room: lock it and append the path.
+        if (!node->lock.UpgradeToWriteLock(version)) {
+          restart = true;
+          break;
+        }
+        void* tail = page;
+        for (unsigned l = kMaxLevel; l > level; --l) {
+          auto* link = static_cast<ArtNode*>(AllocNode(kNode4));
+          link->AddChild(KeyByte(key, l), tail);
+          tail = link;
+        }
+        node->AddChild(b, tail);
+        node->lock.WriteUnlock();
+        return;
+      }
+      if (level == kMaxLevel) {
+        // Slot exists already: overwrite (used only by rebuilds/tests).
+        if (!node->lock.UpgradeToWriteLock(version)) {
+          restart = true;
+          break;
+        }
+        switch (node->type) {
+          case kNode4:
+          case kNode16:
+            for (unsigned i = 0; i < node->num_children; ++i) {
+              if (node->keys[i] == b) node->children[i] = page;
+            }
+            break;
+          case kNode48:
+            node->children[node->child_index[b]] = page;
+            break;
+          default:
+            node->children[b] = page;
+            break;
+        }
+        node->lock.WriteUnlock();
+        return;
+      }
+      parent = node;
+      parent_version = version;
+      node = static_cast<ArtNode*>(child);
+      version = node->lock.ReadLockOrRestart(ok);
+      if (!ok) {
+        restart = true;
+        break;
+      }
+      if (!parent->lock.CheckOrRestart(parent_version)) {
+        restart = true;
+        break;
+      }
+      ++level;
+    }
+    if (!restart) return;
+  }
+}
+
+ArtBTree::LeafPage* ArtBTree::Floor(Key key) const {
+  // Latch-free descent with version validation; maintains the deepest
+  // fallback (node with a child byte below the search byte) for the
+  // floor semantics. Restart on any conflict.
+  for (;;) {
+    ArtNode* node = root_;
+    bool ok = false;
+    uint64_t version = node->lock.ReadLockOrRestart(ok);
+    if (!ok) continue;
+    ArtNode* fb_node = nullptr;
+    uint64_t fb_version = 0;
+    int fb_byte = -1;
+    unsigned fb_level = 0;
+    bool restart = false;
+    unsigned level = 0;
+    for (;;) {
+      const uint8_t b = KeyByte(key, level);
+      void* exact = node->GetChild(b);
+      const int lower = node->LowerByte(b);
+      if (!node->lock.CheckOrRestart(version)) {
+        restart = true;
+        break;
+      }
+      if (lower >= 0) {
+        fb_node = node;
+        fb_version = version;
+        fb_byte = lower;
+        fb_level = level;
+      }
+      if (exact != nullptr) {
+        if (level == kMaxLevel) return static_cast<LeafPage*>(exact);
+        ArtNode* child = static_cast<ArtNode*>(exact);
+        uint64_t child_version = child->lock.ReadLockOrRestart(ok);
+        if (!ok || !node->lock.CheckOrRestart(version)) {
+          restart = true;
+          break;
+        }
+        node = child;
+        version = child_version;
+        ++level;
+        continue;
+      }
+      // Dead end on the exact path: descend max-subtree of the fallback.
+      if (fb_node == nullptr) return first_page_;
+      void* cur = fb_node->GetChild(static_cast<uint8_t>(fb_byte));
+      if (!fb_node->lock.CheckOrRestart(fb_version) || cur == nullptr) {
+        restart = true;
+        break;
+      }
+      unsigned l = fb_level;
+      while (l < kMaxLevel) {
+        ArtNode* n = static_cast<ArtNode*>(cur);
+        uint64_t v = n->lock.ReadLockOrRestart(ok);
+        if (!ok) {
+          restart = true;
+          break;
+        }
+        int mb = -1;
+        if (n->GetChild(0xFF) != nullptr) {
+          mb = 0xFF;
+        } else {
+          mb = n->LowerByte(0xFF);
+        }
+        cur = mb >= 0 ? n->GetChild(static_cast<uint8_t>(mb)) : nullptr;
+        if (!n->lock.CheckOrRestart(v) || cur == nullptr) {
+          restart = true;
+          break;
+        }
+        ++l;
+      }
+      if (restart) break;
+      return static_cast<LeafPage*>(cur);
+    }
+    if (!restart) return first_page_;
+  }
+}
+
+ArtBTree::LeafPage* ArtBTree::LockPageFor(Key key) {
+  for (;;) {
+    LeafPage* page = Floor(key);
+    page->latch.lock();
+    if (key < page->low) {
+      page->latch.unlock();
+      continue;  // raced with a split; retry through the trie
+    }
+    // Walk right while the key belongs to a later page (hand-over-hand,
+    // left-to-right order prevents deadlock).
+    while (page->next != nullptr && key >= page->next->low) {
+      LeafPage* next = page->next;
+      next->latch.lock();
+      page->latch.unlock();
+      page = next;
+    }
+    return page;
+  }
+}
+
+ArtBTree::LeafPage* ArtBTree::LockPageForShared(Key key) const {
+  for (;;) {
+    LeafPage* page = Floor(key);
+    page->latch.lock_shared();
+    if (key < page->low) {
+      page->latch.unlock_shared();
+      continue;
+    }
+    while (page->next != nullptr && key >= page->next->low) {
+      LeafPage* next = page->next;
+      next->latch.lock_shared();
+      page->latch.unlock_shared();
+      page = next;
+    }
+    return page;
+  }
+}
+
+void ArtBTree::Insert(Key key, Value value) {
+  LeafPage* page = LockPageFor(key);
+  const size_t pos = page->LowerBound(key);
+  if (pos < page->items.size() && page->items[pos].key == key) {
+    page->items[pos].value = value;
+    page->latch.unlock();
+    return;
+  }
+  page->items.insert(page->items.begin() + static_cast<long>(pos),
+                     Item{key, value});
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (page->items.size() > leaf_capacity_) {
+    // Split: upper half moves to a fresh page; its low key goes into the
+    // ART as a new separator.
+    const size_t half = page->items.size() / 2;
+    auto* fresh = new LeafPage(page->items[half].key);
+    fresh->items.assign(page->items.begin() + static_cast<long>(half),
+                        page->items.end());
+    page->items.resize(half);
+    fresh->next = page->next;
+    page->next = fresh;
+    {
+      std::lock_guard<std::mutex> g(alloc_mu_);
+      all_pages_.push_back(fresh);
+    }
+    TrieInsert(fresh->low, fresh);
+  }
+  page->latch.unlock();
+}
+
+void ArtBTree::Remove(Key key) {
+  LeafPage* page = LockPageFor(key);
+  const size_t pos = page->LowerBound(key);
+  if (pos < page->items.size() && page->items[pos].key == key) {
+    page->items.erase(page->items.begin() + static_cast<long>(pos));
+    count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  page->latch.unlock();
+}
+
+bool ArtBTree::Find(Key key, Value* value) const {
+  LeafPage* page = LockPageForShared(key);
+  const size_t pos = page->LowerBound(key);
+  const bool found =
+      pos < page->items.size() && page->items[pos].key == key;
+  if (found && value != nullptr) *value = page->items[pos].value;
+  page->latch.unlock_shared();
+  return found;
+}
+
+uint64_t ArtBTree::SumAll() const {
+  uint64_t sum = 0;
+  const LeafPage* page = first_page_;
+  page->latch.lock_shared();
+  while (page != nullptr) {
+    LeafPage* next = page->next;
+    if (next != nullptr) __builtin_prefetch(next, 0, 3);
+    for (const Item& it : page->items) sum += it.value;
+    if (next != nullptr) next->latch.lock_shared();
+    page->latch.unlock_shared();
+    page = next;
+  }
+  return sum;
+}
+
+void ArtBTree::Scan(Key min, Key max, const ScanCallback& cb) const {
+  if (min > max) return;
+  const LeafPage* page = LockPageForShared(min);
+  size_t pos = page->LowerBound(min);
+  while (page != nullptr) {
+    for (; pos < page->items.size(); ++pos) {
+      if (page->items[pos].key > max ||
+          !cb(page->items[pos].key, page->items[pos].value)) {
+        page->latch.unlock_shared();
+        return;
+      }
+    }
+    LeafPage* next = page->next;
+    if (next != nullptr) {
+      __builtin_prefetch(next, 0, 3);
+      next->latch.lock_shared();
+    }
+    page->latch.unlock_shared();
+    page = next;
+    pos = 0;
+  }
+}
+
+bool ArtBTree::CheckInvariants(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  size_t total = 0;
+  Key prev = 0;
+  bool have_prev = false;
+  for (const LeafPage* p = first_page_; p != nullptr; p = p->next) {
+    for (const Item& it : p->items) {
+      if (it.key < p->low) return fail("item below page low fence");
+      if (have_prev && it.key <= prev) {
+        return fail("page chain keys not strictly increasing");
+      }
+      prev = it.key;
+      have_prev = true;
+      ++total;
+    }
+    if (p->next != nullptr && p->next->low <= p->low) {
+      return fail("page low fences not increasing");
+    }
+  }
+  if (total != count_.load()) return fail("element count mismatch");
+  return true;
+}
+
+}  // namespace cpma

@@ -1,0 +1,83 @@
+// ART / B+-tree hybrid — the paper's strongest competitor (§4):
+// an Adaptive Radix Tree (Leis et al., ICDE'13) with Optimistic Lock
+// Coupling (Leis et al., DaMoN'16) used as a *secondary index* whose
+// elements live in the leaves of a custom B+-tree — here a linked list
+// of 4 KiB sorted pages (8 KiB in the §4.1 ablation), with prefetching
+// during scans.
+//
+// The ART indexes one entry per leaf page: the page's immutable low key.
+// Point and update operations do a floor search (largest low key <= k)
+// through the trie without any latches, validating node versions, then
+// latch only the destination page. Page splits insert the new page's low
+// key into the ART. Deletions are lazy (pages are never merged), so ART
+// entries are never removed — the trie only grows.
+//
+// Simplifications vs the original ART (documented in DESIGN.md): keys
+// are fixed 8-byte big-endian, so the trie has a fixed depth of 8 and no
+// path compression; node-growth garbage is freed at destruction (grown
+// nodes are marked obsolete for concurrent readers via their version).
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/latches.h"
+#include "common/ordered_map.h"
+#include "pma/item.h"
+
+namespace cpma {
+
+class ArtBTree : public OrderedMap {
+ public:
+  explicit ArtBTree(size_t leaf_bytes = 4096);
+  ~ArtBTree() override;
+
+  void Insert(Key key, Value value) override;
+  void Remove(Key key) override;
+  bool Find(Key key, Value* value) const override;
+  uint64_t SumAll() const override;
+  void Scan(Key min, Key max, const ScanCallback& cb) const override;
+  size_t Size() const override {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::string Name() const override {
+    return "ART/BTree(leaf=" + std::to_string(leaf_capacity_ * sizeof(Item)) +
+           "B)";
+  }
+
+  bool CheckInvariants(std::string* error) const;
+
+ private:
+  struct ArtNode;
+  struct LeafPage;
+
+  // --- trie ---
+  static uint8_t KeyByte(Key key, unsigned level) {
+    return static_cast<uint8_t>(key >> (8 * (7 - level)));
+  }
+  /// Largest indexed low-key <= key; never null (page 0 has low kKeyMin).
+  LeafPage* Floor(Key key) const;
+  /// Insert `page` under its low key (exclusive trie path as needed).
+  void TrieInsert(Key key, LeafPage* page);
+  void* AllocNode(uint8_t type);
+
+  // --- pages ---
+  /// Locate and exclusively lock the page owning `key`.
+  LeafPage* LockPageFor(Key key);
+  LeafPage* LockPageForShared(Key key) const;
+
+  size_t leaf_capacity_;
+  ArtNode* root_;  // fixed Node256: never grows or gets replaced
+  LeafPage* first_page_;
+  std::atomic<size_t> count_{0};
+  mutable std::mutex alloc_mu_;
+  std::vector<void*> all_nodes_;
+  std::vector<LeafPage*> all_pages_;
+};
+
+}  // namespace cpma

@@ -1,0 +1,313 @@
+#include "baselines/btree/btree.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace cpma {
+
+struct BTree::Node {
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+  virtual ~Node() = default;
+  const bool is_leaf;
+  mutable FairSharedMutex latch;
+};
+
+struct BTree::Inner : BTree::Node {
+  Inner() : Node(false) {}
+  // children.size() == keys.size() + 1; child i covers keys < keys[i]
+  // (and child keys.size() covers the rest).
+  std::vector<Key> keys;
+  std::vector<Node*> children;
+
+  size_t ChildIndex(Key key) const {
+    return static_cast<size_t>(
+        std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+  }
+};
+
+struct BTree::Leaf : BTree::Node {
+  Leaf() : Node(true) {}
+  std::vector<Item> items;  // sorted by key
+  Leaf* next = nullptr;
+
+  size_t LowerBound(Key key) const {
+    size_t lo = 0, hi = items.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (items[mid].key < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+};
+
+BTree::BTree(size_t leaf_bytes, size_t inner_fanout)
+    : leaf_capacity_(leaf_bytes / sizeof(Item)), inner_fanout_(inner_fanout) {
+  CPMA_CHECK(leaf_capacity_ >= 4);
+  CPMA_CHECK(inner_fanout_ >= 4);
+  auto* leaf = new Leaf();
+  leaf->items.reserve(leaf_capacity_);
+  root_ = leaf;
+  all_nodes_.push_back(root_);
+}
+
+BTree::~BTree() {
+  for (Node* n : all_nodes_) delete n;
+}
+
+BTree::Leaf* BTree::DescendToLeafShared(Key key) const {
+  root_latch_.lock_shared();
+  Node* cur = root_;
+  cur->latch.lock_shared();
+  root_latch_.unlock_shared();
+  while (!cur->is_leaf) {
+    auto* inner = static_cast<Inner*>(cur);
+    Node* child = inner->children[inner->ChildIndex(key)];
+    child->latch.lock_shared();
+    cur->latch.unlock_shared();
+    cur = child;
+  }
+  return static_cast<Leaf*>(cur);
+}
+
+bool BTree::Find(Key key, Value* value) const {
+  Leaf* leaf = DescendToLeafShared(key);
+  const size_t pos = leaf->LowerBound(key);
+  const bool found =
+      pos < leaf->items.size() && leaf->items[pos].key == key;
+  if (found && value != nullptr) *value = leaf->items[pos].value;
+  leaf->latch.unlock_shared();
+  return found;
+}
+
+BTree::Leaf* BTree::DescendToLeafExclusive(
+    Key key, std::vector<Inner*>* locked_path, bool* root_held) {
+  // Exclusive latch coupling with early release at "safe" nodes (no
+  // split possible below them).
+  root_latch_.lock();
+  *root_held = true;
+  Node* cur = root_;
+  cur->latch.lock();
+  auto release_ancestors = [&] {
+    for (Inner* n : *locked_path) n->latch.unlock();
+    locked_path->clear();
+    if (*root_held) {
+      root_latch_.unlock();
+      *root_held = false;
+    }
+  };
+  while (!cur->is_leaf) {
+    auto* inner = static_cast<Inner*>(cur);
+    if (inner->children.size() + 1 <= inner_fanout_) {
+      // Inner has room for one more child: splits cannot propagate past
+      // it, so everything above is releasable.
+      release_ancestors();
+    }
+    locked_path->push_back(inner);
+    Node* child = inner->children[inner->ChildIndex(key)];
+    child->latch.lock();
+    cur = child;
+  }
+  auto* leaf = static_cast<Leaf*>(cur);
+  if (leaf->items.size() + 1 < leaf_capacity_) release_ancestors();
+  return leaf;
+}
+
+void BTree::Insert(Key key, Value value) {
+  std::vector<Inner*> path;
+  bool root_held = false;
+  Leaf* leaf = DescendToLeafExclusive(key, &path, &root_held);
+  const size_t pos = leaf->LowerBound(key);
+  if (pos < leaf->items.size() && leaf->items[pos].key == key) {
+    leaf->items[pos].value = value;  // upsert
+  } else {
+    leaf->items.insert(leaf->items.begin() + static_cast<long>(pos),
+                       Item{key, value});
+    count_.fetch_add(1, std::memory_order_relaxed);
+    if (leaf->items.size() >= leaf_capacity_) {
+      SplitLeaf(leaf, &path, root_held);
+      // SplitLeaf released everything.
+      return;
+    }
+  }
+  for (Inner* n : path) n->latch.unlock();
+  if (root_held) root_latch_.unlock();
+  leaf->latch.unlock();
+}
+
+void BTree::SplitLeaf(Leaf* leaf, std::vector<Inner*>* locked_path,
+                      bool root_held) {
+  auto* fresh = new Leaf();
+  {
+    std::lock_guard<std::mutex> g(alloc_mu_);
+    all_nodes_.push_back(fresh);
+  }
+  const size_t half = leaf->items.size() / 2;
+  fresh->items.assign(leaf->items.begin() + static_cast<long>(half),
+                      leaf->items.end());
+  leaf->items.resize(half);
+  fresh->next = leaf->next;
+  leaf->next = fresh;
+  Key sep = fresh->items[0].key;
+  Node* left = leaf;
+  Node* right = fresh;
+
+  // Bubble the separator up the locked path, splitting inners as needed.
+  while (!locked_path->empty()) {
+    Inner* parent = locked_path->back();
+    locked_path->pop_back();
+    const size_t idx = parent->ChildIndex(sep);
+    parent->keys.insert(parent->keys.begin() + static_cast<long>(idx), sep);
+    parent->children.insert(
+        parent->children.begin() + static_cast<long>(idx) + 1, right);
+    if (parent->children.size() <= inner_fanout_) {
+      parent->latch.unlock();
+      for (Inner* n : *locked_path) n->latch.unlock();
+      locked_path->clear();
+      left = nullptr;
+      break;
+    }
+    // Split the inner: middle key moves up.
+    auto* fresh_inner = new Inner();
+    {
+      std::lock_guard<std::mutex> g(alloc_mu_);
+      all_nodes_.push_back(fresh_inner);
+    }
+    const size_t mid = parent->keys.size() / 2;
+    sep = parent->keys[mid];
+    fresh_inner->keys.assign(parent->keys.begin() + static_cast<long>(mid) + 1,
+                             parent->keys.end());
+    fresh_inner->children.assign(
+        parent->children.begin() + static_cast<long>(mid) + 1,
+        parent->children.end());
+    parent->keys.resize(mid);
+    parent->children.resize(mid + 1);
+    left = parent;
+    right = fresh_inner;
+    parent->latch.unlock();
+  }
+  if (left != nullptr) {
+    // The split propagated to the root (the root latch is still held).
+    CPMA_CHECK(root_held);
+    auto* new_root = new Inner();
+    {
+      std::lock_guard<std::mutex> g(alloc_mu_);
+      all_nodes_.push_back(new_root);
+    }
+    new_root->keys.push_back(sep);
+    new_root->children.push_back(left);
+    new_root->children.push_back(right);
+    root_ = new_root;
+  }
+  if (root_held) root_latch_.unlock();
+  leaf->latch.unlock();
+}
+
+void BTree::Remove(Key key) {
+  // Lazy deletion: only the leaf changes, never the structure, so a
+  // single exclusive leaf latch suffices.
+  root_latch_.lock_shared();
+  Node* cur = root_;
+  if (cur->is_leaf) {
+    cur->latch.lock();
+    root_latch_.unlock_shared();
+  } else {
+    cur->latch.lock_shared();
+    root_latch_.unlock_shared();
+    for (;;) {
+      auto* inner = static_cast<Inner*>(cur);
+      Node* child = inner->children[inner->ChildIndex(key)];
+      if (child->is_leaf) {
+        child->latch.lock();
+      } else {
+        child->latch.lock_shared();
+      }
+      cur->latch.unlock_shared();
+      cur = child;
+      if (cur->is_leaf) break;
+    }
+  }
+  auto* leaf = static_cast<Leaf*>(cur);
+  const size_t pos = leaf->LowerBound(key);
+  if (pos < leaf->items.size() && leaf->items[pos].key == key) {
+    leaf->items.erase(leaf->items.begin() + static_cast<long>(pos));
+    count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  leaf->latch.unlock();
+}
+
+uint64_t BTree::SumAll() const {
+  uint64_t sum = 0;
+  Leaf* leaf = DescendToLeafShared(kKeyMin);
+  while (leaf != nullptr) {
+    Leaf* next = leaf->next;
+    if (next != nullptr) {
+      // The paper issues explicit prefetches for leaf traversals.
+      __builtin_prefetch(next, 0, 3);
+      __builtin_prefetch(next->items.data(), 0, 3);
+    }
+    for (const Item& it : leaf->items) sum += it.value;
+    if (next != nullptr) next->latch.lock_shared();  // latch coupling
+    leaf->latch.unlock_shared();
+    leaf = next;
+  }
+  return sum;
+}
+
+void BTree::Scan(Key min, Key max, const ScanCallback& cb) const {
+  if (min > max) return;
+  Leaf* leaf = DescendToLeafShared(min);
+  size_t pos = leaf->LowerBound(min);
+  while (leaf != nullptr) {
+    for (; pos < leaf->items.size(); ++pos) {
+      if (leaf->items[pos].key > max || !cb(leaf->items[pos].key,
+                                            leaf->items[pos].value)) {
+        leaf->latch.unlock_shared();
+        return;
+      }
+    }
+    Leaf* next = leaf->next;
+    if (next != nullptr) {
+      __builtin_prefetch(next, 0, 3);
+      next->latch.lock_shared();
+    }
+    leaf->latch.unlock_shared();
+    leaf = next;
+    pos = 0;
+  }
+}
+
+bool BTree::CheckInvariants(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  // Walk the leaf chain from the leftmost leaf.
+  const Node* cur = root_;
+  while (!cur->is_leaf) {
+    cur = static_cast<const Inner*>(cur)->children[0];
+  }
+  const Leaf* leaf = static_cast<const Leaf*>(cur);
+  size_t total = 0;
+  Key prev = 0;
+  bool have_prev = false;
+  while (leaf != nullptr) {
+    for (const Item& it : leaf->items) {
+      if (have_prev && it.key <= prev) {
+        return fail("leaf chain keys not strictly increasing");
+      }
+      prev = it.key;
+      have_prev = true;
+      ++total;
+    }
+    leaf = leaf->next;
+  }
+  if (total != count_.load()) return fail("element count mismatch");
+  return true;
+}
+
+}  // namespace cpma

@@ -1,0 +1,75 @@
+// Concurrent B+-tree with latch coupling — the "custom B+Tree" of the
+// paper's ART/B+tree competitor (§4): leaves are 4 KiB pages (configurable
+// to 8 KiB for the ablation), linked for range scans with explicit
+// prefetch of the next leaf; concurrency is conventional lock coupling
+// (Silberschatz et al. [30] as cited by the paper).
+//
+// Simplifications kept deliberately (documented in DESIGN.md):
+// deletions are lazy — elements are removed from leaves but nodes are
+// never merged or freed until the tree is destroyed. The paper itself
+// observes that deletions are "generally a more complex and slower
+// operation on trees"; lazy deletion errs in the trees' favour.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/latches.h"
+#include "common/ordered_map.h"
+#include "pma/item.h"
+
+namespace cpma {
+
+class BTree : public OrderedMap {
+ public:
+  /// leaf_bytes: leaf page size (4096 in the paper, 8192 in the §4.1
+  /// ablation). inner_fanout: separators per inner node.
+  explicit BTree(size_t leaf_bytes = 4096, size_t inner_fanout = 64);
+  ~BTree() override;
+
+  void Insert(Key key, Value value) override;
+  void Remove(Key key) override;
+  bool Find(Key key, Value* value) const override;
+  uint64_t SumAll() const override;
+  void Scan(Key min, Key max, const ScanCallback& cb) const override;
+  size_t Size() const override {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::string Name() const override {
+    return "BTree(leaf=" + std::to_string(leaf_capacity_ * sizeof(Item)) +
+           "B)";
+  }
+
+  size_t leaf_capacity() const { return leaf_capacity_; }
+
+  /// Structural validation (quiescent): sortedness, leaf-chain order,
+  /// separator consistency, element count.
+  bool CheckInvariants(std::string* error) const;
+
+ private:
+  struct Node;
+  struct Inner;
+  struct Leaf;
+
+  Leaf* DescendToLeafShared(Key key) const;  // returns leaf latched shared
+  // Exclusive descent with early release at safe nodes; *root_held
+  // reports whether the root latch is still owned on return.
+  Leaf* DescendToLeafExclusive(Key key, std::vector<Inner*>* locked_path,
+                               bool* root_held);
+  void SplitLeaf(Leaf* leaf, std::vector<Inner*>* locked_path,
+                 bool root_held);
+
+  size_t leaf_capacity_;
+  size_t inner_fanout_;
+  mutable FairSharedMutex root_latch_;
+  Node* root_;
+  std::atomic<size_t> count_{0};
+  std::vector<Node*> all_nodes_;  // for destruction (guarded by alloc_mu_)
+  std::mutex alloc_mu_;
+};
+
+}  // namespace cpma

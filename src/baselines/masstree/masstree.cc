@@ -1,0 +1,400 @@
+#include "baselines/masstree/masstree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/status.h"
+
+namespace cpma {
+
+namespace {
+constexpr unsigned kLeafEntries = 15;   // ~256 B of key/value payload
+constexpr unsigned kInnerEntries = 64;  // separators per inner node
+}  // namespace
+
+struct Masstree::Node {
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+  virtual ~Node() = default;
+  OptimisticLock lock;
+  const bool is_leaf;
+};
+
+struct Masstree::Inner : Masstree::Node {
+  Inner() : Node(false) {}
+  // Fixed arrays: OCC readers may observe torn intermediate states and
+  // rely on version validation, so storage must never reallocate.
+  Key keys[kInnerEntries];
+  Node* children[kInnerEntries + 1];
+  unsigned num_keys = 0;
+
+  unsigned ChildIndex(Key key) const {
+    unsigned lo = 0, hi = num_keys;
+    while (lo < hi) {
+      unsigned mid = (lo + hi) / 2;
+      if (key >= keys[mid]) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+};
+
+struct Masstree::Leaf : Masstree::Node {
+  Leaf() : Node(true) {}
+  Item items[kLeafEntries];     // unsorted (insertion order)
+  uint8_t perm[kLeafEntries];   // permutation: sorted -> slot
+  uint8_t num_items = 0;
+  Key low = kKeyMin;
+  Key high = kKeySentinel;  // exclusive upper fence (sentinel = +inf)
+  Leaf* next = nullptr;
+
+  int FindSlot(Key key) const {
+    for (unsigned i = 0; i < num_items; ++i) {
+      if (items[i].key == key) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+Masstree::Masstree() {
+  auto* leaf = new Leaf();
+  first_leaf_ = leaf;
+  root_.store(leaf, std::memory_order_release);
+  all_nodes_.push_back(leaf);
+}
+
+Masstree::~Masstree() {
+  for (Node* n : all_nodes_) delete n;
+}
+
+Masstree::Leaf* Masstree::ReachLeaf(Key key, uint64_t* version) const {
+  for (;;) {
+    Node* node = root_.load(std::memory_order_acquire);
+    bool ok = false;
+    uint64_t v = node->lock.ReadLockOrRestart(ok);
+    if (!ok) continue;
+    bool restart = false;
+    while (!node->is_leaf) {
+      auto* inner = static_cast<Inner*>(node);
+      Node* child = inner->children[inner->ChildIndex(key)];
+      uint64_t cv = 0;
+      if (child == nullptr || !node->lock.CheckOrRestart(v)) {
+        restart = true;
+        break;
+      }
+      cv = child->lock.ReadLockOrRestart(ok);
+      if (!ok || !node->lock.CheckOrRestart(v)) {
+        restart = true;
+        break;
+      }
+      node = child;
+      v = cv;
+    }
+    if (restart) continue;
+    auto* leaf = static_cast<Leaf*>(node);
+    // Fence validation (the split may have raced the descent).
+    const Key low = leaf->low;
+    const Key high = leaf->high;
+    if (!leaf->lock.CheckOrRestart(v)) continue;
+    if (key < low || (high != kKeySentinel && key >= high)) continue;
+    *version = v;
+    return leaf;
+  }
+}
+
+void Masstree::Insert(Key key, Value value) {
+  for (;;) {
+    uint64_t v = 0;
+    Leaf* leaf = ReachLeaf(key, &v);
+    if (!leaf->lock.UpgradeToWriteLock(v)) continue;
+    // Re-validate fences under the lock.
+    if (key < leaf->low ||
+        (leaf->high != kKeySentinel && key >= leaf->high)) {
+      leaf->lock.WriteUnlock();
+      continue;
+    }
+    const int slot = leaf->FindSlot(key);
+    if (slot >= 0) {
+      leaf->items[slot].value = value;
+      leaf->lock.WriteUnlock();
+      return;
+    }
+    if (leaf->num_items < kLeafEntries) {
+      // Masstree trait: append unsorted, fix the permutation only.
+      const uint8_t pos = leaf->num_items;
+      leaf->items[pos] = {key, value};
+      unsigned ins = 0;
+      while (ins < pos && leaf->items[leaf->perm[ins]].key < key) ++ins;
+      std::memmove(leaf->perm + ins + 1, leaf->perm + ins, pos - ins);
+      leaf->perm[ins] = pos;
+      ++leaf->num_items;
+      count_.fetch_add(1, std::memory_order_relaxed);
+      leaf->lock.WriteUnlock();
+      return;
+    }
+    SplitLeaf(leaf);  // releases the leaf lock; retry the insert
+  }
+}
+
+void Masstree::SplitLeaf(Leaf* leaf) {
+  // The leaf is write-locked. Take the SMO mutex for the structural part
+  // (lock order: leaf < smo < inners — consistent everywhere).
+  std::lock_guard<std::mutex> smo(smo_mu_);
+  auto* fresh = new Leaf();
+  {
+    std::lock_guard<std::mutex> g(alloc_mu_);
+    all_nodes_.push_back(fresh);
+  }
+  // Move the upper half (by sorted order) to the new leaf.
+  const unsigned half = leaf->num_items / 2;
+  Item sorted[kLeafEntries];
+  for (unsigned i = 0; i < leaf->num_items; ++i) {
+    sorted[i] = leaf->items[leaf->perm[i]];
+  }
+  for (unsigned i = half; i < leaf->num_items; ++i) {
+    const unsigned j = i - half;
+    fresh->items[j] = sorted[i];
+    fresh->perm[j] = static_cast<uint8_t>(j);
+  }
+  fresh->num_items = static_cast<uint8_t>(leaf->num_items - half);
+  fresh->low = sorted[half].key;
+  fresh->high = leaf->high;
+  fresh->next = leaf->next;
+  for (unsigned i = 0; i < half; ++i) leaf->perm[i] = 0;
+  // Compact the lower half back into the old leaf.
+  for (unsigned i = 0; i < half; ++i) {
+    leaf->items[i] = sorted[i];
+    leaf->perm[i] = static_cast<uint8_t>(i);
+  }
+  leaf->num_items = static_cast<uint8_t>(half);
+  leaf->high = fresh->low;
+  leaf->next = fresh;
+  const Key sep = fresh->low;
+  leaf->lock.WriteUnlock();
+
+  // Insert the separator into the parent chain. Under smo_mu_ only this
+  // thread mutates inners, so a plain descent is safe; each mutated
+  // inner is version-locked so optimistic readers retry.
+  Node* right = fresh;
+  for (;;) {
+    // Find the parent path of `sep` from the root.
+    Node* node = root_.load(std::memory_order_acquire);
+    if (node->is_leaf) {
+      // Root was the split leaf: grow a new root.
+      auto* new_root = new Inner();
+      {
+        std::lock_guard<std::mutex> g(alloc_mu_);
+        all_nodes_.push_back(new_root);
+      }
+      new_root->keys[0] = sep;
+      new_root->children[0] = node;
+      new_root->children[1] = right;
+      new_root->num_keys = 1;
+      root_.store(new_root, std::memory_order_release);
+      return;
+    }
+    std::vector<Inner*> path;
+    while (!node->is_leaf) {
+      auto* inner = static_cast<Inner*>(node);
+      path.push_back(inner);
+      node = inner->children[inner->ChildIndex(sep)];
+    }
+    // Bubble up from the deepest inner.
+    Key up_key = sep;
+    Node* up_right = right;
+    while (!path.empty()) {
+      Inner* parent = path.back();
+      path.pop_back();
+      CPMA_CHECK(parent->lock.WriteLock());
+      const unsigned idx = parent->ChildIndex(up_key);
+      if (parent->num_keys < kInnerEntries) {
+        std::memmove(parent->keys + idx + 1, parent->keys + idx,
+                     (parent->num_keys - idx) * sizeof(Key));
+        std::memmove(parent->children + idx + 2, parent->children + idx + 1,
+                     (parent->num_keys - idx) * sizeof(Node*));
+        parent->keys[idx] = up_key;
+        parent->children[idx + 1] = up_right;
+        ++parent->num_keys;
+        parent->lock.WriteUnlock();
+        return;
+      }
+      // Split the inner.
+      auto* fresh_inner = new Inner();
+      {
+        std::lock_guard<std::mutex> g(alloc_mu_);
+        all_nodes_.push_back(fresh_inner);
+      }
+      Key tmp_keys[kInnerEntries + 1];
+      Node* tmp_children[kInnerEntries + 2];
+      std::memcpy(tmp_keys, parent->keys, sizeof(parent->keys));
+      std::memcpy(tmp_children, parent->children, sizeof(parent->children));
+      std::memmove(tmp_keys + idx + 1, tmp_keys + idx,
+                   (kInnerEntries - idx) * sizeof(Key));
+      std::memmove(tmp_children + idx + 2, tmp_children + idx + 1,
+                   (kInnerEntries - idx) * sizeof(Node*));
+      tmp_keys[idx] = up_key;
+      tmp_children[idx + 1] = up_right;
+      const unsigned total = kInnerEntries + 1;
+      const unsigned mid = total / 2;
+      parent->num_keys = mid;
+      std::memcpy(parent->keys, tmp_keys, mid * sizeof(Key));
+      std::memcpy(parent->children, tmp_children, (mid + 1) * sizeof(Node*));
+      fresh_inner->num_keys = total - mid - 1;
+      std::memcpy(fresh_inner->keys, tmp_keys + mid + 1,
+                  fresh_inner->num_keys * sizeof(Key));
+      std::memcpy(fresh_inner->children, tmp_children + mid + 1,
+                  (fresh_inner->num_keys + 1) * sizeof(Node*));
+      up_key = tmp_keys[mid];
+      up_right = fresh_inner;
+      parent->lock.WriteUnlock();
+      if (path.empty()) {
+        // Root inner split.
+        auto* new_root = new Inner();
+        {
+          std::lock_guard<std::mutex> g(alloc_mu_);
+          all_nodes_.push_back(new_root);
+        }
+        new_root->keys[0] = up_key;
+        new_root->children[0] = root_.load(std::memory_order_acquire);
+        new_root->children[1] = up_right;
+        new_root->num_keys = 1;
+        root_.store(new_root, std::memory_order_release);
+        return;
+      }
+    }
+    return;  // inserted
+  }
+}
+
+void Masstree::Remove(Key key) {
+  for (;;) {
+    uint64_t v = 0;
+    Leaf* leaf = ReachLeaf(key, &v);
+    if (!leaf->lock.UpgradeToWriteLock(v)) continue;
+    if (key < leaf->low ||
+        (leaf->high != kKeySentinel && key >= leaf->high)) {
+      leaf->lock.WriteUnlock();
+      continue;
+    }
+    const int slot = leaf->FindSlot(key);
+    if (slot >= 0) {
+      // Swap the last physical slot into the hole, then rebuild the
+      // permutation (15 entries: trivial).
+      const unsigned last = leaf->num_items - 1u;
+      leaf->items[slot] = leaf->items[last];
+      --leaf->num_items;
+      unsigned p = 0;
+      for (unsigned i = 0; i < leaf->num_items; ++i) leaf->perm[i] = 0;
+      // Insertion-sort slots by key.
+      for (unsigned i = 0; i < leaf->num_items; ++i) {
+        unsigned ins = p;
+        while (ins > 0 &&
+               leaf->items[leaf->perm[ins - 1]].key > leaf->items[i].key) {
+          leaf->perm[ins] = leaf->perm[ins - 1];
+          --ins;
+        }
+        leaf->perm[ins] = static_cast<uint8_t>(i);
+        ++p;
+      }
+      count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    leaf->lock.WriteUnlock();
+    return;
+  }
+}
+
+bool Masstree::Find(Key key, Value* value) const {
+  for (;;) {
+    uint64_t v = 0;
+    Leaf* leaf = ReachLeaf(key, &v);
+    const int slot = leaf->FindSlot(key);
+    Value out = slot >= 0 ? leaf->items[slot].value : 0;
+    if (!leaf->lock.CheckOrRestart(v)) continue;
+    if (slot >= 0 && value != nullptr) *value = out;
+    return slot >= 0;
+  }
+}
+
+uint64_t Masstree::SumAll() const {
+  // Walk the leaf chain with per-leaf optimistic snapshots. (This is
+  // exactly why Masstree scans poorly: per-256B-node version dance.)
+  uint64_t sum = 0;
+  const Leaf* leaf = first_leaf_;
+  while (leaf != nullptr) {
+    for (;;) {
+      bool ok = false;
+      uint64_t v = leaf->lock.ReadLockOrRestart(ok);
+      if (!ok) continue;
+      uint64_t local = 0;
+      const unsigned n = leaf->num_items;
+      for (unsigned i = 0; i < n && i < kLeafEntries; ++i) {
+        local += leaf->items[i].value;
+      }
+      const Leaf* next = leaf->next;
+      if (!leaf->lock.CheckOrRestart(v)) continue;
+      sum += local;
+      leaf = next;
+      break;
+    }
+  }
+  return sum;
+}
+
+void Masstree::Scan(Key min, Key max, const ScanCallback& cb) const {
+  if (min > max) return;
+  uint64_t v = 0;
+  const Leaf* leaf = ReachLeaf(min, &v);
+  while (leaf != nullptr) {
+    // Snapshot the leaf in sorted order, validate, then emit.
+    Item snap[kLeafEntries];
+    unsigned n = 0;
+    const Leaf* next = nullptr;
+    for (;;) {
+      bool ok = false;
+      uint64_t lv = leaf->lock.ReadLockOrRestart(ok);
+      if (!ok) {
+        lv = 0;
+      }
+      n = std::min<unsigned>(leaf->num_items, kLeafEntries);
+      for (unsigned i = 0; i < n; ++i) snap[i] = leaf->items[leaf->perm[i]];
+      next = leaf->next;
+      if (leaf->lock.CheckOrRestart(lv)) break;
+    }
+    for (unsigned i = 0; i < n; ++i) {
+      if (snap[i].key < min) continue;
+      if (snap[i].key > max || !cb(snap[i].key, snap[i].value)) return;
+    }
+    leaf = next;
+  }
+}
+
+bool Masstree::CheckInvariants(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  size_t total = 0;
+  Key prev = 0;
+  bool have_prev = false;
+  for (const Leaf* leaf = first_leaf_; leaf != nullptr; leaf = leaf->next) {
+    for (unsigned i = 0; i < leaf->num_items; ++i) {
+      const Item& it = leaf->items[leaf->perm[i]];
+      if (it.key < leaf->low) return fail("item below leaf low fence");
+      if (leaf->high != kKeySentinel && it.key >= leaf->high) {
+        return fail("item above leaf high fence");
+      }
+      if (have_prev && it.key <= prev) {
+        return fail("sorted order violated across the leaf chain");
+      }
+      prev = it.key;
+      have_prev = true;
+      ++total;
+    }
+  }
+  if (total != count_.load()) return fail("element count mismatch");
+  return true;
+}
+
+}  // namespace cpma

@@ -1,0 +1,69 @@
+// Masstree-style baseline (Mao, Kohler, Morris — EuroSys'12), §4
+// competitor. The performance-defining traits of Masstree for 8-byte
+// keys are reproduced faithfully:
+//
+//   * small nodes (leaves hold 15 entries ≈ 256 B) -> cheap writes, but
+//     range scans chase many pointers;
+//   * unsorted leaf entries with a permutation array -> inserts append,
+//     no shifting;
+//   * optimistic concurrency control: readers take no latches, validate
+//     node versions, and retry on conflict; writers lock only the leaf.
+//
+// For fixed 8-byte keys Masstree's trie-of-B+-trees degenerates to a
+// single B+-tree layer, so this is structurally the "layer 0" of
+// Masstree. Structure modifications (splits) are serialized by a global
+// SMO mutex — a documented simplification (DESIGN.md): record updates,
+// which dominate the paper's workloads, keep the original concurrency.
+// Deletions are lazy (no merges), matching the other tree baselines.
+
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/latches.h"
+#include "common/ordered_map.h"
+#include "pma/item.h"
+
+namespace cpma {
+
+class Masstree : public OrderedMap {
+ public:
+  Masstree();
+  ~Masstree() override;
+
+  void Insert(Key key, Value value) override;
+  void Remove(Key key) override;
+  bool Find(Key key, Value* value) const override;
+  uint64_t SumAll() const override;
+  void Scan(Key min, Key max, const ScanCallback& cb) const override;
+  size_t Size() const override {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::string Name() const override { return "Masstree"; }
+
+  bool CheckInvariants(std::string* error) const;
+
+ private:
+  struct Node;
+  struct Inner;
+  struct Leaf;
+
+  /// Optimistic descent to the leaf whose fences cover `key`; returns a
+  /// consistent (leaf, version) pair or retries internally.
+  Leaf* ReachLeaf(Key key, uint64_t* version) const;
+
+  /// Split `leaf` (write-locked by the caller); releases the leaf lock.
+  void SplitLeaf(Leaf* leaf);
+
+  std::atomic<Node*> root_;
+  Leaf* first_leaf_;
+  std::atomic<size_t> count_{0};
+  std::mutex smo_mu_;  // serializes structure modifications
+  mutable std::mutex alloc_mu_;
+  std::vector<Node*> all_nodes_;
+};
+
+}  // namespace cpma

@@ -1,0 +1,274 @@
+// Epoch-based garbage collection (paper §3.4).
+//
+// Clients enter an epoch at the start of each logical operation (the
+// paper uses the CPU timestamp counter; we use a monotonically increasing
+// global counter which gives the same ordering guarantees without TSC
+// portability concerns). To retire memory, a producer appends the pointer
+// plus the current global epoch to a garbage list. The collector — either
+// the background thread started by StartBackgroundCollector or an
+// explicit Collect() call — frees every retired item whose epoch precedes
+// the minimum epoch across all active clients.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cpma {
+
+class EpochGC;
+
+/// Per-thread registration slot. Cache-line sized to avoid false sharing
+/// between client threads publishing their epochs.
+struct alignas(64) EpochSlot {
+  // kIdle when the thread is not inside an operation.
+  static constexpr uint64_t kIdle = UINT64_MAX;
+  std::atomic<uint64_t> epoch{kIdle};
+  std::atomic<bool> in_use{false};
+};
+
+class EpochGC {
+ public:
+  explicit EpochGC(size_t max_threads = 256)
+      : instance_id_(NextInstanceId()), slots_(max_threads) {
+    std::lock_guard<std::mutex> g(AliveMutex());
+    AliveSet().push_back(this);
+  }
+
+  ~EpochGC() {
+    StopBackgroundCollector();
+    // Free everything left; no clients may be active at destruction.
+    CollectAll();
+    std::lock_guard<std::mutex> g(AliveMutex());
+    auto& alive = AliveSet();
+    alive.erase(std::remove(alive.begin(), alive.end(), this), alive.end());
+  }
+
+  /// True iff `gc` still exists *and* is the same instance (a new GC can
+  /// be allocated at a recycled address; the id disambiguates). Used by
+  /// thread-local slot caches that may outlive the GC.
+  static bool IsAlive(EpochGC* gc, uint64_t instance_id) {
+    std::lock_guard<std::mutex> g(AliveMutex());
+    auto& alive = AliveSet();
+    return std::find(alive.begin(), alive.end(), gc) != alive.end() &&
+           gc->instance_id_ == instance_id;
+  }
+
+  uint64_t instance_id() const { return instance_id_; }
+
+  EpochGC(const EpochGC&) = delete;
+  EpochGC& operator=(const EpochGC&) = delete;
+
+  /// Acquire a slot for the calling thread. Threads keep their slot for
+  /// their lifetime (thread_local caching in EpochGuard).
+  EpochSlot* RegisterThread() {
+    for (auto& s : slots_) {
+      bool expected = false;
+      if (s.in_use.compare_exchange_strong(expected, true)) return &s;
+    }
+    CPMA_CHECK_MSG(false, "EpochGC: too many threads");
+    return nullptr;
+  }
+
+  void UnregisterThread(EpochSlot* slot) {
+    slot->epoch.store(EpochSlot::kIdle, std::memory_order_release);
+    slot->in_use.store(false, std::memory_order_release);
+  }
+
+  /// Enter a new epoch; the returned value is published in the slot.
+  uint64_t Enter(EpochSlot* slot) {
+    uint64_t e = global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    slot->epoch.store(e, std::memory_order_release);
+    return e;
+  }
+
+  void Exit(EpochSlot* slot) {
+    slot->epoch.store(EpochSlot::kIdle, std::memory_order_release);
+  }
+
+  /// Retire `deleter` to run once all epochs older than now have drained.
+  void Retire(std::function<void()> deleter) {
+    uint64_t e = global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> g(garbage_mutex_);
+    garbage_.push_back({e, std::move(deleter)});
+  }
+
+  /// Free retired items older than every active client. Returns the
+  /// number of items freed.
+  size_t Collect() {
+    const uint64_t min_epoch = MinActiveEpoch();
+    std::vector<Garbage> to_free;
+    {
+      std::lock_guard<std::mutex> g(garbage_mutex_);
+      size_t keep = 0;
+      for (auto& item : garbage_) {
+        if (item.epoch < min_epoch) {
+          to_free.push_back(std::move(item));
+        } else {
+          garbage_[keep++] = std::move(item);
+        }
+      }
+      garbage_.resize(keep);
+    }
+    for (auto& item : to_free) item.deleter();
+    return to_free.size();
+  }
+
+  /// Free everything unconditionally (destruction path).
+  size_t CollectAll() {
+    std::vector<Garbage> to_free;
+    {
+      std::lock_guard<std::mutex> g(garbage_mutex_);
+      to_free.swap(garbage_);
+    }
+    for (auto& item : to_free) item.deleter();
+    return to_free.size();
+  }
+
+  size_t PendingGarbage() {
+    std::lock_guard<std::mutex> g(garbage_mutex_);
+    return garbage_.size();
+  }
+
+  /// Start the periodic collector thread (paper: "a background thread,
+  /// the garbage collector, runs periodically").
+  void StartBackgroundCollector(
+      std::chrono::milliseconds period = std::chrono::milliseconds(10)) {
+    std::lock_guard<std::mutex> g(collector_mutex_);
+    if (collector_.joinable()) return;
+    collector_stop_ = false;
+    collector_ = std::thread([this, period] {
+      std::unique_lock<std::mutex> lk(collector_mutex_);
+      while (!collector_stop_) {
+        collector_cv_.wait_for(lk, period);
+        if (collector_stop_) break;
+        lk.unlock();
+        Collect();
+        lk.lock();
+      }
+    });
+  }
+
+  void StopBackgroundCollector() {
+    {
+      std::lock_guard<std::mutex> g(collector_mutex_);
+      if (!collector_.joinable()) return;
+      collector_stop_ = true;
+    }
+    collector_cv_.notify_all();
+    collector_.join();
+  }
+
+  uint64_t MinActiveEpoch() const {
+    // Snapshot the global epoch first: anything retired after this point
+    // is newer than what we will free.
+    uint64_t min_epoch = global_epoch_.load(std::memory_order_acquire);
+    for (const auto& s : slots_) {
+      if (!s.in_use.load(std::memory_order_acquire)) continue;
+      uint64_t e = s.epoch.load(std::memory_order_acquire);
+      if (e != EpochSlot::kIdle && e < min_epoch) min_epoch = e;
+    }
+    return min_epoch;
+  }
+
+ private:
+  static std::mutex& AliveMutex() {
+    static std::mutex m;
+    return m;
+  }
+  static uint64_t NextInstanceId() {
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1);
+  }
+  static std::vector<EpochGC*>& AliveSet() {
+    static std::vector<EpochGC*> v;
+    return v;
+  }
+
+  struct Garbage {
+    uint64_t epoch;
+    std::function<void()> deleter;
+  };
+
+  const uint64_t instance_id_;
+  std::atomic<uint64_t> global_epoch_{1};
+  std::vector<EpochSlot> slots_;
+
+  std::mutex garbage_mutex_;
+  std::vector<Garbage> garbage_;
+
+  std::mutex collector_mutex_;
+  std::condition_variable collector_cv_;
+  std::thread collector_;
+  bool collector_stop_ = false;
+};
+
+/// RAII epoch scope for one logical operation.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochGC& gc) : gc_(gc), slot_(SlotFor(gc)) {
+    gc_.Enter(slot_);
+  }
+  ~EpochGuard() { gc_.Exit(slot_); }
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+  /// Re-enter a fresh epoch mid-operation (after detecting a resize the
+  /// client "restarts its operation after having entered in a new epoch").
+  void Refresh() {
+    gc_.Exit(slot_);
+    gc_.Enter(slot_);
+  }
+
+ private:
+  // One cached slot per (thread, GC instance). A thread uses at most a
+  // handful of GC instances (one per data structure), so a tiny linear
+  // cache suffices and avoids unordered_map in the hot path.
+  static EpochSlot* SlotFor(EpochGC& gc) {
+    struct Entry {
+      EpochGC* gc;
+      uint64_t instance_id;
+      EpochSlot* slot;
+    };
+    struct Cache {
+      std::vector<Entry> entries;
+      ~Cache() {
+        for (auto& e : entries) {
+          if (EpochGC::IsAlive(e.gc, e.instance_id)) {
+            e.gc->UnregisterThread(e.slot);
+          }
+        }
+      }
+    };
+    thread_local Cache cache;
+    for (auto it = cache.entries.begin(); it != cache.entries.end();) {
+      if (it->gc == &gc && it->instance_id == gc.instance_id()) {
+        return it->slot;
+      }
+      // Purge entries whose GC died (their slot storage is gone).
+      if (!EpochGC::IsAlive(it->gc, it->instance_id)) {
+        it = cache.entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    EpochSlot* slot = gc.RegisterThread();
+    cache.entries.push_back({&gc, gc.instance_id(), slot});
+    return slot;
+  }
+
+  EpochGC& gc_;
+  EpochSlot* slot_;
+};
+
+}  // namespace cpma

@@ -1,0 +1,63 @@
+// Common interface implemented by the concurrent PMA and by every
+// competitor baseline, mirroring the paper's evaluation contract:
+// 8-byte integer keys and values, point updates, point lookups and
+// full sorted scans, all callable concurrently from many threads.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace cpma {
+
+using Key = uint64_t;
+using Value = uint64_t;
+
+/// Minimum/maximum usable keys (inclusive). UINT64_MAX is reserved as an
+/// internal sentinel (routing tables and fence keys), so user keys span
+/// [0, UINT64_MAX - 1]. The paper's workloads use keys in [1, 2^27].
+constexpr Key kKeyMin = 0;
+constexpr Key kKeyMax = UINT64_MAX - 1;
+
+/// Callback for range scans: invoked per element in ascending key order;
+/// return false to stop early.
+using ScanCallback = std::function<bool(Key, Value)>;
+
+class OrderedMap {
+ public:
+  virtual ~OrderedMap() = default;
+
+  /// Insert key -> value. Duplicate keys overwrite (upsert), matching the
+  /// paper's key/value pair workload. May be asynchronous for structures
+  /// with combining enabled; Flush() forces completion.
+  virtual void Insert(Key key, Value value) = 0;
+
+  /// Remove key if present. Asynchronous like Insert.
+  virtual void Remove(Key key) = 0;
+
+  /// Point lookup. Returns true and sets *value if found.
+  virtual bool Find(Key key, Value* value) const = 0;
+
+  /// Scan all elements in ascending key order. Returns the sum of the
+  /// visited values (the paper's scan workload folds all elements; the
+  /// sum also defeats dead-code elimination in benchmarks).
+  virtual uint64_t SumAll() const = 0;
+
+  /// Scan [min, max] inclusive in ascending key order.
+  virtual void Scan(Key min, Key max, const ScanCallback& cb) const = 0;
+
+  /// Number of elements (post-Flush exact; otherwise approximate for
+  /// asynchronous structures).
+  virtual size_t Size() const = 0;
+
+  /// Wait until all asynchronously queued updates are applied. No-op for
+  /// synchronous structures.
+  virtual void Flush() {}
+
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace cpma

@@ -1,0 +1,32 @@
+// Thread-to-core pinning (best effort). The paper pins all threads to a
+// single NUMA node; in a container we pin to distinct logical CPUs when
+// the OS allows it and silently continue otherwise.
+
+#pragma once
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace cpma {
+
+/// Pin the calling thread to logical CPU `cpu` (mod hardware concurrency).
+/// Returns true on success.
+inline bool PinThisThread(unsigned cpu) {
+#if defined(__linux__)
+  unsigned n = std::thread::hardware_concurrency();
+  if (n == 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % n, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace cpma

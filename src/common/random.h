@@ -1,0 +1,58 @@
+// Fast deterministic pseudo-random number generation for workloads and
+// tests. Not cryptographic. Each thread owns its own generator.
+
+#pragma once
+
+#include <cstdint>
+
+namespace cpma {
+
+/// splitmix64: used to seed and to scramble sequential ids into keys.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality 64-bit generator.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x853c49e6748fea9bull) {
+    uint64_t sm = seed;
+    for (auto& w : s_) w = SplitMix64(sm);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's multiply-shift rejection-free approximation is fine for
+    // workload generation; modulo bias is negligible for bound << 2^64.
+    return Next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace cpma

@@ -1,0 +1,92 @@
+// Status: lightweight error propagation without exceptions.
+//
+// Follows the Arrow/RocksDB convention of returning a Status object from
+// fallible operations instead of throwing. Internal invariant violations
+// use CPMA_CHECK (assert-like, always on).
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace cpma {
+
+/// Result of a fallible operation. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kKeyAlreadyExists,
+    kKeyNotFound,
+    kInvalidArgument,
+    kResourceExhausted,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status KeyAlreadyExists(std::string msg = "") {
+    return Status(Code::kKeyAlreadyExists, std::move(msg));
+  }
+  static Status KeyNotFound(std::string msg = "") {
+    return Status(Code::kKeyNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsKeyAlreadyExists() const { return code_ == Code::kKeyAlreadyExists; }
+  bool IsKeyNotFound() const { return code_ == Code::kKeyNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    switch (code_) {
+      case Code::kOk: return "OK";
+      case Code::kKeyAlreadyExists: return "KeyAlreadyExists: " + message_;
+      case Code::kKeyNotFound: return "KeyNotFound: " + message_;
+      case Code::kInvalidArgument: return "InvalidArgument: " + message_;
+      case Code::kResourceExhausted: return "ResourceExhausted: " + message_;
+      case Code::kInternal: return "Internal: " + message_;
+    }
+    return "Unknown";
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace cpma
+
+/// Always-on invariant check; aborts with location info on failure.
+#define CPMA_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CPMA_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define CPMA_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CPMA_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   msg, __FILE__, __LINE__);                               \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)

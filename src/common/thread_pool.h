@@ -1,0 +1,95 @@
+// Fixed-size thread pool. Used by the rebalancer's worker threads and by
+// the parallel resize path. Tasks are std::function thunks; WaitGroup
+// gives callers a count-down barrier to join a batch of tasks.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cpma {
+
+/// Count-down latch: Add(n) before submitting, Done() in each task,
+/// Wait() to join. Reusable after Wait() returns.
+class WaitGroup {
+ public:
+  void Add(int n) {
+    std::lock_guard<std::mutex> g(m_);
+    count_ += n;
+  }
+
+  void Done() {
+    std::lock_guard<std::mutex> g(m_);
+    if (--count_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> g(m_);
+    cv_.wait(g, [&] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  int count_ = 0;
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    threads_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> g(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> g(m_);
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> g(m_);
+        cv_.wait(g, [&] { return stop_ || !tasks_.empty(); });
+        if (stop_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+}  // namespace cpma

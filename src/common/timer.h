@@ -1,0 +1,40 @@
+// Wall-clock timing helpers for the benchmark harness.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace cpma {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  uint64_t ElapsedMillis() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Monotonic milliseconds since an arbitrary origin; used for the
+/// t_delay throttle on global rebalances (paper §3.5).
+inline int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace cpma

@@ -1,0 +1,116 @@
+// Zipfian key distribution over the range [1, n], with skew parameter
+// alpha (the paper uses alpha in {1, 1.5, 2} over n = 2^27).
+//
+// Uses the rejection-inversion method of Hörmann & Derflinger (1996),
+// which samples in O(1) without precomputing the harmonic table, so large
+// ranges (2^27) initialise instantly. The same algorithm underlies
+// std::zipf-like generators in YCSB-style harnesses.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace cpma {
+
+class ZipfDistribution {
+ public:
+  /// n: number of distinct values (>= 1); alpha: skew exponent (> 0).
+  ZipfDistribution(uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+    CPMA_CHECK(n >= 1);
+    CPMA_CHECK(alpha > 0.0);
+    h_x1_ = H(1.5) - 1.0;
+    h_n_ = H(static_cast<double>(n_) + 0.5);
+    s_ = 2.0 - HInverse(H(2.5) - HIntegerApprox(2.0));
+    if (!(s_ > 0)) s_ = 1e-8;
+  }
+
+  /// Returns a value in [1, n]; value 1 is the most frequent.
+  uint64_t Sample(Random& rng) const {
+    // Rejection-inversion loop; expected < 2 iterations.
+    for (;;) {
+      const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+      const double x = HInverse(u);
+      uint64_t k = static_cast<uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      const double kd = static_cast<double>(k);
+      if (kd - x <= s_ || u >= H(kd + 0.5) - HIntegerApprox(kd)) {
+        return k;
+      }
+    }
+  }
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  // H(x) = integral of x^-alpha: (x^(1-alpha) - 1)/(1-alpha), with the
+  // alpha == 1 limit log(x).
+  double H(double x) const {
+    if (std::fabs(alpha_ - 1.0) < 1e-9) return std::log(x);
+    return (std::pow(x, 1.0 - alpha_) - 1.0) / (1.0 - alpha_);
+  }
+
+  double HInverse(double u) const {
+    if (std::fabs(alpha_ - 1.0) < 1e-9) return std::exp(u);
+    return std::pow(1.0 + u * (1.0 - alpha_), 1.0 / (1.0 - alpha_));
+  }
+
+  // x^-alpha, the probability mass (unnormalised) at integer x.
+  double HIntegerApprox(double x) const { return std::pow(x, -alpha_); }
+
+  uint64_t n_;
+  double alpha_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+/// Uniform distribution over [1, n]; shares ZipfDistribution's interface
+/// so workload code can hold either behind KeyDistribution.
+class UniformDistribution {
+ public:
+  explicit UniformDistribution(uint64_t n) : n_(n) { CPMA_CHECK(n >= 1); }
+  uint64_t Sample(Random& rng) const { return 1 + rng.NextBounded(n_); }
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+};
+
+/// Tagged union over the two workload distributions used in the paper.
+class KeyDistribution {
+ public:
+  static KeyDistribution Uniform(uint64_t n) {
+    KeyDistribution d;
+    d.uniform_ = UniformDistribution(n);
+    d.is_zipf_ = false;
+    return d;
+  }
+  static KeyDistribution Zipf(uint64_t n, double alpha) {
+    KeyDistribution d;
+    d.zipf_.emplace(n, alpha);
+    d.is_zipf_ = true;
+    return d;
+  }
+
+  uint64_t Sample(Random& rng) const {
+    return is_zipf_ ? zipf_->Sample(rng) : uniform_.Sample(rng);
+  }
+  bool is_zipf() const { return is_zipf_; }
+
+ private:
+  KeyDistribution() : uniform_(1) {}
+
+  UniformDistribution uniform_;
+  // Optional because ZipfDistribution has no default constructor.
+  std::optional<ZipfDistribution> zipf_;
+  bool is_zipf_ = false;
+};
+
+}  // namespace cpma

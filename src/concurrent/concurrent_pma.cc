@@ -1,0 +1,640 @@
+#include "concurrent/concurrent_pma.h"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "common/timer.h"
+#include "concurrent/rebalancer.h"
+#include "pma/density.h"
+#include "pma/spread.h"
+
+namespace cpma {
+
+namespace {
+
+size_t SegmentLowerBound(const Item* seg, uint32_t card, Key key) {
+  size_t lo = 0, hi = card;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (seg[mid].key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+void RecomputeFences(Snapshot* snap, size_t gb, size_t ge) {
+  CPMA_CHECK(gb < ge && ge <= snap->num_gates());
+  const Storage& st = *snap->storage;
+  const size_t spg = snap->segments_per_gate;
+
+  auto first_key_of_chunk = [&](size_t g) -> std::optional<Key> {
+    for (size_t s = g * spg; s < (g + 1) * spg; ++s) {
+      if (st.card(s) > 0) return st.segment(s)[0].key;
+    }
+    return std::nullopt;
+  };
+
+  // Right-to-left: a gate's high fence is the predecessor of the next
+  // gate's low fence (paper §3.1); empty chunks collapse onto the next
+  // boundary, yielding an empty [low, high] range that fence checks
+  // simply walk past.
+  const size_t n = ge - gb;
+  std::vector<Key> low(n), high(n);
+  for (size_t g = ge; g-- > gb;) {
+    const size_t j = g - gb;
+    high[j] =
+        (g == ge - 1) ? snap->gates[g].high_fence() : low[j + 1] - 1;
+    if (g == gb) {
+      low[j] = snap->gates[g].low_fence();
+    } else if (auto fk = first_key_of_chunk(g)) {
+      low[j] = *fk;
+    } else {
+      low[j] = (high[j] == kKeySentinel) ? kKeySentinel : high[j] + 1;
+    }
+  }
+  for (size_t g = gb; g < ge; ++g) {
+    snap->gates[g].SetFences(low[g - gb], high[g - gb]);
+    snap->index->SetSeparator(g, low[g - gb]);
+  }
+}
+
+ConcurrentPMA::ConcurrentPMA(const ConcurrentConfig& config) : cfg_(config) {
+  CPMA_CHECK(IsPowerOfTwo(cfg_.segments_per_gate));
+  CPMA_CHECK(cfg_.segments_per_gate >= 2);
+  CPMA_CHECK(IsPowerOfTwo(cfg_.pma.segment_capacity));
+  CPMA_CHECK(cfg_.pma.segment_capacity >= 4);
+  snapshot_.store(BuildInitialSnapshot(), std::memory_order_release);
+  rebalancer_ = std::make_unique<Rebalancer>(this, cfg_.rebalancer_workers);
+  rebalancer_->Start();
+  gc_.StartBackgroundCollector();
+}
+
+ConcurrentPMA::~ConcurrentPMA() {
+  Flush();
+  rebalancer_->Stop();
+  rebalancer_.reset();
+  delete snapshot_.load(std::memory_order_acquire);
+  // gc_'s destructor frees snapshots retired by resizes.
+}
+
+Snapshot* ConcurrentPMA::BuildInitialSnapshot() {
+  const size_t spg = cfg_.segments_per_gate;
+  size_t segs = std::max(cfg_.pma.initial_num_segments, 2 * spg);
+  while (!IsPowerOfTwo(segs)) ++segs;
+  auto* snap = new Snapshot();
+  snap->version = 1;
+  snap->segments_per_gate = spg;
+  snap->storage = std::make_unique<Storage>(segs, cfg_.pma.segment_capacity,
+                                            cfg_.pma.use_rewiring);
+  const size_t num_gates = segs / spg;
+  for (size_t g = 0; g < num_gates; ++g) {
+    snap->gates.emplace_back(static_cast<uint32_t>(g), g * spg,
+                             (g + 1) * spg);
+  }
+  snap->index =
+      std::make_unique<StaticIndex>(num_gates, cfg_.index_fanout);
+  RecomputeFences(snap, 0, num_gates);
+  return snap;
+}
+
+size_t ConcurrentPMA::capacity() const {
+  EpochGuard guard(gc_);
+  return snapshot_.load(std::memory_order_acquire)->storage->capacity();
+}
+
+std::string ConcurrentPMA::Name() const {
+  switch (cfg_.async_mode) {
+    case ConcurrentConfig::AsyncMode::kSync:
+      return "ConcurrentPMA(sync)";
+    case ConcurrentConfig::AsyncMode::kOneByOne:
+      return "ConcurrentPMA(1by1)";
+    case ConcurrentConfig::AsyncMode::kBatch:
+      return "ConcurrentPMA(batch," + std::to_string(cfg_.t_delay_ms) + "ms)";
+  }
+  return "ConcurrentPMA";
+}
+
+// --------------------------------------------------------------- updates
+
+void ConcurrentPMA::Insert(Key key, Value value) {
+  CPMA_CHECK_MSG(key <= kKeyMax, "key out of domain (UINT64_MAX reserved)");
+  Update(GateOp{GateOp::Type::kInsert, key, value});
+}
+
+void ConcurrentPMA::Remove(Key key) {
+  CPMA_CHECK_MSG(key <= kKeyMax, "key out of domain (UINT64_MAX reserved)");
+  Update(GateOp{GateOp::Type::kRemove, key, 0});
+}
+
+void ConcurrentPMA::Update(GateOp op) {
+  const bool allow_queue =
+      cfg_.async_mode != ConcurrentConfig::AsyncMode::kSync;
+  // FIFO: rerouted ops must re-apply in their original order, or two
+  // ops on the same key could invert.
+  std::deque<GateOp> worklist{op};
+  while (!worklist.empty()) {
+    GateOp cur = worklist.front();
+    worklist.pop_front();
+    EpochGuard guard(gc_);
+    for (;;) {
+      Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+      size_t gid = snap->index->Lookup(cur.key);
+      GateAccess a;
+      Gate* gate;
+      for (;;) {
+        gate = &snap->gates[gid];
+        a = gate->WriterAccess(cur, allow_queue);
+        if (a == GateAccess::kTooLow) {
+          CPMA_CHECK(gid > 0);
+          --gid;
+        } else if (a == GateAccess::kTooHigh) {
+          CPMA_CHECK(gid + 1 < snap->num_gates());
+          ++gid;
+        } else {
+          break;
+        }
+      }
+      if (a == GateAccess::kInvalidated) {
+        guard.Refresh();
+        continue;
+      }
+      if (a == GateAccess::kQueued) {
+        pending_async_.fetch_add(1, std::memory_order_relaxed);
+        stat_queued_ops_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      CPMA_CHECK(a == GateAccess::kOwner);
+      OwnerApplyAndDrain(snap, gate, cur, &worklist);
+      break;
+    }
+  }
+}
+
+void ConcurrentPMA::OwnerApplyAndDrain(Snapshot* snap, Gate* gate, GateOp op,
+                                       std::deque<GateOp>* reroute) {
+  using AsyncMode = ConcurrentConfig::AsyncMode;
+  const bool batch_mode = cfg_.async_mode == AsyncMode::kBatch;
+  std::optional<GateOp> pending = op;
+  bool pending_counted = false;  // true when `pending` came off the queue
+
+  auto drop_pending = [&] {
+    if (pending_counted) {
+      pending_async_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    pending.reset();
+    pending_counted = false;
+  };
+
+  for (;;) {
+    if (pending.has_value() && (pending->key < gate->low_fence() ||
+                                pending->key > gate->high_fence())) {
+      // A multi-gate rebalance moved the fences while we were parked;
+      // re-dispatch through the index (paper §3.3).
+      reroute->push_back(*pending);
+      drop_pending();
+    }
+    if (pending.has_value()) {
+      size_t trigger_seg = 0;
+      if (ApplyOpLocal(snap, gate, *pending, &trigger_seg)) {
+        drop_pending();
+      } else if (batch_mode) {
+        // Hand the gate's queue (including this op) to the rebalancer;
+        // the t_delay throttle decides when it runs (paper §3.5).
+        gate->OwnerPushFront({*pending});
+        if (!pending_counted) {
+          pending_async_.fetch_add(1, std::memory_order_relaxed);
+        }
+        pending.reset();
+        pending_counted = false;
+        const int64_t due =
+            std::max(NowMillis(),
+                     gate->last_global_rebalance_ms() + cfg_.t_delay_ms);
+        rebalancer_->RequestBatch(snap->version, gate->id(), due);
+        gate->WriterDetachKeepQueue();
+        return;
+      } else {
+        // Sync / one-by-one: transfer the latch and wait (paper §3.3).
+        gate->TransferToRebalancer();
+        rebalancer_->RequestRebalance(snap->version, gate->id(),
+                                      trigger_seg);
+        if (!gate->WriterReacquireAfterRebal()) {
+          // Resize: the gate is gone; our op restarts on the new
+          // snapshot. Queued ops were merged by the master.
+          reroute->push_back(*pending);
+          drop_pending();
+          return;
+        }
+        continue;  // re-validate fences, retry the op
+      }
+    }
+
+    // Own op done — drain the combining queue.
+    if (cfg_.async_mode == AsyncMode::kOneByOne) {
+      GateOp qop;
+      if (gate->WriterPopOrRelease(&qop)) {
+        pending = qop;
+        pending_counted = true;
+        continue;
+      }
+      return;  // queue empty: gate released
+    }
+    if (batch_mode) {
+      std::deque<GateOp> q = gate->WriterTakeQueue();
+      if (q.empty()) {
+        if (gate->WriterRelease()) return;
+        continue;  // new ops slipped in
+      }
+      pending_async_.fetch_sub(static_cast<int64_t>(q.size()),
+                               std::memory_order_relaxed);
+      std::deque<GateOp> local;
+      for (const GateOp& qop : q) {
+        if (qop.key < gate->low_fence() || qop.key > gate->high_fence()) {
+          reroute->push_back(qop);
+        } else {
+          local.push_back(qop);
+        }
+      }
+      if (ApplyBatchLocal(snap, gate, &local)) continue;
+      // Remainder does not fit inside the gate: back onto the queue —
+      // *ahead* of anything that arrived while we processed the batch —
+      // and over to the rebalancer.
+      gate->OwnerPushFront(std::vector<GateOp>(local.begin(), local.end()));
+      pending_async_.fetch_add(static_cast<int64_t>(local.size()),
+                               std::memory_order_relaxed);
+      const int64_t due = std::max(
+          NowMillis(), gate->last_global_rebalance_ms() + cfg_.t_delay_ms);
+      rebalancer_->RequestBatch(snap->version, gate->id(), due);
+      gate->WriterDetachKeepQueue();
+      return;
+    }
+    // Sync mode: no queue can exist.
+    gate->WriterRelease();
+    return;
+  }
+}
+
+bool ConcurrentPMA::ApplyOpLocal(Snapshot* snap, Gate* gate, const GateOp& op,
+                                 size_t* trigger_seg) {
+  Storage* st = snap->storage.get();
+  const size_t B = st->segment_capacity();
+
+  if (op.type == GateOp::Type::kRemove) {
+    const size_t s = LocateSegment(*snap, *gate, op.key);
+    Item* seg = st->segment(s);
+    const uint32_t card = st->card(s);
+    const size_t pos = SegmentLowerBound(seg, card, op.key);
+    if (pos >= card || seg[pos].key != op.key) return true;  // absent
+    std::memmove(seg + pos, seg + pos + 1, (card - pos - 1) * sizeof(Item));
+    st->set_card(s, card - 1);
+    count_.fetch_sub(1, std::memory_order_relaxed);
+    if (pos == 0 && s > 0) {
+      st->set_route(s, card > 1 ? seg[0].key : kKeySentinel);
+    }
+    MaybeRequestShrink(snap);
+    return true;
+  }
+
+  int attempts = 0;
+  for (;;) {
+    const size_t s = LocateSegment(*snap, *gate, op.key);
+    Item* seg = st->segment(s);
+    const uint32_t card = st->card(s);
+    const size_t pos = SegmentLowerBound(seg, card, op.key);
+    if (pos < card && seg[pos].key == op.key) {
+      seg[pos].value = op.value;  // upsert
+      return true;
+    }
+    if (card < B) {
+      std::memmove(seg + pos + 1, seg + pos, (card - pos) * sizeof(Item));
+      seg[pos] = {op.key, op.value};
+      st->set_card(s, card + 1);
+      if (pos == 0 && s > 0) st->set_route(s, op.key);
+      st->bump_insert_count(s);
+      count_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    // Segment full: local rebalance over in-gate calibrator windows.
+    if (++attempts > 8) {
+      *trigger_seg = s;
+      return false;
+    }
+    DensityBounds bounds(cfg_.pma, st->num_segments());
+    const size_t gate_level = Log2Floor(snap->segments_per_gate);
+    bool spread_done = false;
+    for (size_t level = 1;
+         level <= std::min(gate_level, bounds.root_level()); ++level) {
+      size_t b, e;
+      WindowAt(s, level, &b, &e);
+      if (b < gate->seg_begin() || e > gate->seg_end()) break;
+      size_t m = 0;
+      for (size_t i = b; i < e; ++i) m += st->card(i);
+      const size_t cap = (e - b) * B;
+      const double delta =
+          static_cast<double>(m) / static_cast<double>(cap);
+      if (delta <= bounds.Tau(level) && m + (e - b) <= cap) {
+        WindowPlan plan =
+            PlanSpread(*st, b, e, adaptive_effective(), /*trigger_seg=*/s);
+        CopyPartitionToBuffer(st, plan, b, e);
+        FinishSpread(st, plan);
+        stat_local_rebalances_.fetch_add(1, std::memory_order_relaxed);
+        spread_done = true;
+        break;
+      }
+    }
+    if (!spread_done) {
+      *trigger_seg = s;
+      return false;  // needs the rebalancer (window exceeds the gate)
+    }
+  }
+}
+
+bool ConcurrentPMA::ApplyBatchLocal(Snapshot* snap, Gate* gate,
+                                    std::deque<GateOp>* pending) {
+  size_t trigger = 0;
+  // Canonicalize first (per key the last op wins) so that the
+  // deletions-before-insertions passes below cannot reorder ops on the
+  // *same* key — only the cross-key order is relaxed (paper §3.5).
+  std::vector<BatchEntry> canon = CanonicalizeBatch(*pending);
+  pending->clear();
+  // First pass: all deletions, freeing space for the insertions.
+  std::vector<BatchEntry> inserts;
+  for (const BatchEntry& e : canon) {
+    if (e.is_delete) {
+      CPMA_CHECK(ApplyOpLocal(snap, gate,
+                              GateOp{GateOp::Type::kRemove, e.key, 0},
+                              &trigger));
+    } else {
+      inserts.push_back(e);
+    }
+  }
+  // Second pass: insertions — individually while they fit without
+  // spilling out of the gate, then as one merged gate-window spread.
+  size_t next = 0;
+  while (next < inserts.size() &&
+         ApplyOpLocal(snap, gate,
+                      GateOp{GateOp::Type::kInsert, inserts[next].key,
+                             inserts[next].value},
+                      &trigger)) {
+    ++next;
+  }
+  if (next == inserts.size()) return true;
+  std::vector<BatchEntry> batch(inserts.begin() + next, inserts.end());
+
+  Storage* st = snap->storage.get();
+  const size_t B = st->segment_capacity();
+  const size_t b = gate->seg_begin();
+  const size_t e = gate->seg_end();
+  size_t ins = 0, del = 0;
+  const size_t total = CountMerged(*st, b, e, batch, &ins, &del);
+  DensityBounds bounds(cfg_.pma, st->num_segments());
+  const size_t gate_level = Log2Floor(snap->segments_per_gate);
+  const size_t cap = (e - b) * B;
+  const double delta =
+      static_cast<double>(total) / static_cast<double>(cap);
+  if (delta <= bounds.Tau(std::min(gate_level, bounds.root_level())) &&
+      total + (e - b) <= cap) {
+    WindowPlan plan = PlanMergedSpread(*st, b, e, total);
+    MergedCopyToBuffer(st, plan, batch);
+    FinishSpread(st, plan);
+    count_.fetch_add(ins, std::memory_order_relaxed);
+    count_.fetch_sub(del, std::memory_order_relaxed);
+    stat_batches_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  for (const BatchEntry& e : batch) {
+    pending->push_back(GateOp{GateOp::Type::kInsert, e.key, e.value});
+  }
+  return false;
+}
+
+size_t ConcurrentPMA::LocateSegment(const Snapshot& snap, const Gate& gate,
+                                    Key key) const {
+  const Storage& st = *snap.storage;
+  size_t best = SIZE_MAX;
+  size_t first_nonempty = SIZE_MAX;
+  for (size_t s = gate.seg_begin(); s < gate.seg_end(); ++s) {
+    if (st.card(s) == 0) continue;
+    if (first_nonempty == SIZE_MAX) first_nonempty = s;
+    if (st.segment(s)[0].key <= key) {
+      best = s;
+    } else {
+      break;
+    }
+  }
+  if (best != SIZE_MAX) return best;
+  if (first_nonempty != SIZE_MAX) return first_nonempty;
+  return gate.seg_begin();
+}
+
+void ConcurrentPMA::MaybeRequestShrink(Snapshot* snap) {
+  const size_t cap = snap->storage->capacity();
+  if (snap->num_gates() <= 2) return;
+  if (static_cast<double>(count_.load(std::memory_order_relaxed)) <
+      cfg_.pma.shrink_density * static_cast<double>(cap)) {
+    bool expected = false;
+    if (snap->resize_requested.compare_exchange_strong(expected, true)) {
+      rebalancer_->RequestShrink(snap->version);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- reads
+
+bool ConcurrentPMA::Find(Key key, Value* value) const {
+  CPMA_CHECK_MSG(key <= kKeyMax, "key out of domain (UINT64_MAX reserved)");
+  EpochGuard guard(gc_);
+  for (;;) {
+    Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+    size_t gid = snap->index->Lookup(key);
+    GateAccess a;
+    Gate* gate;
+    for (;;) {
+      gate = &snap->gates[gid];
+      a = gate->ReaderAccess(&key);
+      if (a == GateAccess::kTooLow) {
+        CPMA_CHECK(gid > 0);
+        --gid;
+      } else if (a == GateAccess::kTooHigh) {
+        CPMA_CHECK(gid + 1 < snap->num_gates());
+        ++gid;
+      } else {
+        break;
+      }
+    }
+    if (a == GateAccess::kInvalidated) {
+      guard.Refresh();
+      continue;
+    }
+    const Storage& st = *snap->storage;
+    const size_t s = LocateSegment(*snap, *gate, key);
+    const Item* seg = st.segment(s);
+    const uint32_t card = st.card(s);
+    const size_t pos = SegmentLowerBound(seg, card, key);
+    const bool found = pos < card && seg[pos].key == key;
+    if (found && value != nullptr) *value = seg[pos].value;
+    gate->ReaderRelease();
+    return found;
+  }
+}
+
+uint64_t ConcurrentPMA::SumAll() const {
+  uint64_t sum = 0;
+  Key cursor = 0;
+  bool have_cursor = false;
+  EpochGuard guard(gc_);
+  for (;;) {
+    Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+    const Storage& st = *snap->storage;
+    size_t gid = have_cursor ? snap->index->Lookup(cursor) : 0;
+    bool restart = false;
+    for (; gid < snap->num_gates(); ++gid) {
+      Gate* gate = &snap->gates[gid];
+      if (gate->ReaderAccess(nullptr) == GateAccess::kInvalidated) {
+        guard.Refresh();
+        restart = true;
+        break;
+      }
+      for (size_t s = gate->seg_begin(); s < gate->seg_end(); ++s) {
+        const Item* seg = st.segment(s);
+        const uint32_t card = st.card(s);
+        uint32_t i = 0;
+        if (have_cursor) {
+          i = static_cast<uint32_t>(SegmentLowerBound(seg, card, cursor));
+          if (i < card && seg[i].key == cursor) ++i;  // strictly after
+        }
+        for (; i < card; ++i) {
+          sum += seg[i].value;
+          cursor = seg[i].key;
+          have_cursor = true;
+        }
+      }
+      gate->ReaderRelease();
+    }
+    if (!restart) return sum;
+  }
+}
+
+void ConcurrentPMA::Scan(Key min, Key max, const ScanCallback& cb) const {
+  if (min > max) return;
+  Key cursor = min;
+  bool consumed_cursor = false;  // true once `cursor` itself was emitted
+  EpochGuard guard(gc_);
+  for (;;) {
+    Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+    const Storage& st = *snap->storage;
+    size_t gid = snap->index->Lookup(cursor);
+    bool restart = false;
+    for (; gid < snap->num_gates(); ++gid) {
+      Gate* gate = &snap->gates[gid];
+      if (gate->ReaderAccess(nullptr) == GateAccess::kInvalidated) {
+        guard.Refresh();
+        restart = true;
+        break;
+      }
+      for (size_t s = gate->seg_begin(); s < gate->seg_end(); ++s) {
+        const Item* seg = st.segment(s);
+        const uint32_t card = st.card(s);
+        uint32_t i =
+            static_cast<uint32_t>(SegmentLowerBound(seg, card, cursor));
+        if (consumed_cursor && i < card && seg[i].key == cursor) ++i;
+        for (; i < card; ++i) {
+          if (seg[i].key > max) {
+            gate->ReaderRelease();
+            return;
+          }
+          if (!cb(seg[i].key, seg[i].value)) {
+            gate->ReaderRelease();
+            return;
+          }
+          cursor = seg[i].key;
+          consumed_cursor = true;
+        }
+      }
+      gate->ReaderRelease();
+    }
+    if (!restart) return;
+  }
+}
+
+// ------------------------------------------------------------- lifecycle
+
+void ConcurrentPMA::Flush() {
+  for (;;) {
+    rebalancer_->Drain();
+    if (pending_async_.load(std::memory_order_acquire) == 0 &&
+        rebalancer_->Idle()) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+bool ConcurrentPMA::CheckInvariants(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  const Storage& st = *snap->storage;
+  const size_t B = st.segment_capacity();
+  size_t total = 0;
+  Key prev = 0;
+  bool have_prev = false;
+  for (size_t g = 0; g < snap->num_gates(); ++g) {
+    const Gate& gate = snap->gates[g];
+    if (g == 0 && gate.low_fence() != kKeyMin) {
+      return fail("gate 0 low fence must be kKeyMin");
+    }
+    if (g + 1 < snap->num_gates()) {
+      if (gate.high_fence() != snap->gates[g + 1].low_fence() - 1) {
+        return fail("fences not contiguous at gate " + std::to_string(g));
+      }
+    } else if (gate.high_fence() != kKeySentinel) {
+      return fail("last gate high fence must be the sentinel");
+    }
+    if (snap->index->separator(g) != gate.low_fence()) {
+      return fail("index separator mismatch at gate " + std::to_string(g));
+    }
+    if (gate.writer_active_unsafe() || gate.queue_size_unsafe() != 0) {
+      return fail("combining queue not drained at gate " +
+                  std::to_string(g));
+    }
+    for (size_t s = gate.seg_begin(); s < gate.seg_end(); ++s) {
+      const uint32_t card = st.card(s);
+      if (card > B) return fail("segment cardinality exceeds capacity");
+      const Item* seg = st.segment(s);
+      for (uint32_t i = 0; i < card; ++i) {
+        if (have_prev && seg[i].key <= prev) {
+          return fail("keys not strictly increasing at segment " +
+                      std::to_string(s));
+        }
+        if (seg[i].key < gate.low_fence() ||
+            seg[i].key > gate.high_fence()) {
+          return fail("key outside gate fences at gate " +
+                      std::to_string(g));
+        }
+        prev = seg[i].key;
+        have_prev = true;
+      }
+      if (card > 0 && s != 0 && st.route(s) != seg[0].key) {
+        return fail("routing key mismatch at segment " + std::to_string(s));
+      }
+      total += card;
+    }
+  }
+  if (total != count_.load(std::memory_order_relaxed)) {
+    return fail("element count mismatch: stored " + std::to_string(total) +
+                " vs counter " + std::to_string(count_.load()));
+  }
+  return true;
+}
+
+}  // namespace cpma

@@ -1,0 +1,157 @@
+// ConcurrentPMA — the paper's contribution (§3): a packed memory array
+// supporting concurrent reads and updates via
+//   gates (chunk latches + fence keys)      §3.1  concurrent/gate.h
+//   a latch-free static index over gates    §3.2  concurrent/static_index.h
+//   a master/worker rebalancer service      §3.3  concurrent/rebalancer.h
+//   epoch-based GC for resizes              §3.4  common/epoch_gc.h
+//   asynchronous updates (local combining)  §3.5  here + gate.h
+//
+// Client protocol (both readers and writers hold at most one latch):
+//   1. enter an epoch; load the current snapshot (storage+gates+index);
+//   2. traverse the static index without latches -> candidate gate;
+//   3. acquire the gate latch; the fence keys decide whether the key
+//      belongs here — if not, walk to the neighbour gate;
+//   4. if the gate is invalidated (resize happened), refresh the epoch
+//      and restart from the new snapshot;
+//   5. writers finding an active writer on the gate append their update
+//      to its combining queue and return (async modes).
+//
+// Updates may therefore complete asynchronously; Flush() waits until all
+// queued work (including rebalancer batches) has been applied.
+
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/epoch_gc.h"
+#include "common/ordered_map.h"
+#include "concurrent/gate.h"
+#include "concurrent/static_index.h"
+#include "pma/config.h"
+#include "pma/storage.h"
+
+namespace cpma {
+
+class Rebalancer;
+struct Snapshot;
+
+/// Recompute fence keys + index separators for gates [gb, ge) from the
+/// live chunk contents, preserving the window's outer boundaries. The
+/// caller must own the gates (or be single-threaded at construction).
+void RecomputeFences(Snapshot* snap, size_t gb, size_t ge);
+
+/// Everything that is replaced wholesale by a resize. Clients reach a
+/// Snapshot through an atomic pointer and keep it alive via their epoch.
+struct Snapshot {
+  uint64_t version = 0;
+  std::unique_ptr<Storage> storage;
+  std::deque<Gate> gates;  // deque: Gate is immovable (mutex member)
+  std::unique_ptr<StaticIndex> index;
+  size_t segments_per_gate = 8;
+  std::atomic<bool> resize_requested{false};
+
+  size_t num_gates() const { return gates.size(); }
+};
+
+class ConcurrentPMA : public OrderedMap {
+ public:
+  explicit ConcurrentPMA(const ConcurrentConfig& config = ConcurrentConfig());
+  ~ConcurrentPMA() override;
+
+  void Insert(Key key, Value value) override;
+  void Remove(Key key) override;
+  bool Find(Key key, Value* value) const override;
+  uint64_t SumAll() const override;
+  void Scan(Key min, Key max, const ScanCallback& cb) const override;
+  size_t Size() const override {
+    return count_.load(std::memory_order_relaxed);
+  }
+  void Flush() override;
+  std::string Name() const override;
+
+  const ConcurrentConfig& config() const { return cfg_; }
+  size_t capacity() const;
+
+  // --- statistics ---
+  uint64_t num_local_rebalances() const {
+    return stat_local_rebalances_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_global_rebalances() const {
+    return stat_global_rebalances_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_resizes() const {
+    return stat_resizes_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_queued_ops() const {
+    return stat_queued_ops_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_batches() const {
+    return stat_batches_.load(std::memory_order_relaxed);
+  }
+
+  /// Structural validation: fences contiguous and sorted, chunk contents
+  /// within fences, per-segment sortedness, index separators == fences,
+  /// element count. Requires quiescence (no concurrent clients); call
+  /// after Flush().
+  bool CheckInvariants(std::string* error) const;
+
+ private:
+  friend class Rebalancer;
+
+  // Shared update entry point for Insert/Remove.
+  void Update(GateOp op);
+
+  // Owner path: apply `op`, then drain the combining queue according to
+  // the configured async mode. Ops that no longer fit the gate's fences
+  // are pushed onto `reroute` for the caller to re-dispatch.
+  void OwnerApplyAndDrain(Snapshot* snap, Gate* gate, GateOp op,
+                          std::deque<GateOp>* reroute);
+
+  /// Apply one op inside the gate, running local (in-gate) rebalances as
+  /// needed. Returns false when a global rebalance is required; then
+  /// *trigger_seg holds the violating segment.
+  bool ApplyOpLocal(Snapshot* snap, Gate* gate, const GateOp& op,
+                    size_t* trigger_seg);
+
+  /// Apply a sorted batch of ops whose keys are within the gate's fences
+  /// entirely inside the gate. Returns false when the merged result does
+  /// not fit (global batch needed).
+  bool ApplyBatchLocal(Snapshot* snap, Gate* gate,
+                       std::deque<GateOp>* pending);
+
+  // In-gate navigation (caller holds the gate latch).
+  // Rightmost non-empty segment of the chunk whose routing key is <= key,
+  // or the leftmost non-empty segment, or seg_begin() for an empty chunk.
+  size_t LocateSegment(const Snapshot& snap, const Gate& gate, Key key) const;
+
+  /// True if the effective spread policy is adaptive (paper: one-by-one
+  /// leverages adaptive rebalancing, batch uses traditional).
+  bool adaptive_effective() const {
+    return cfg_.pma.adaptive &&
+           cfg_.async_mode != ConcurrentConfig::AsyncMode::kBatch;
+  }
+
+  /// Fire-and-forget shrink check after deletions.
+  void MaybeRequestShrink(Snapshot* snap);
+
+  Snapshot* BuildInitialSnapshot();
+
+  ConcurrentConfig cfg_;
+  mutable EpochGC gc_;
+  std::atomic<Snapshot*> snapshot_;
+  std::atomic<size_t> count_{0};
+  std::atomic<int64_t> pending_async_{0};
+  std::unique_ptr<Rebalancer> rebalancer_;
+
+  std::atomic<uint64_t> stat_local_rebalances_{0};
+  std::atomic<uint64_t> stat_global_rebalances_{0};
+  std::atomic<uint64_t> stat_resizes_{0};
+  std::atomic<uint64_t> stat_queued_ops_{0};
+  std::atomic<uint64_t> stat_batches_{0};
+};
+
+}  // namespace cpma

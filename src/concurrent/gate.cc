@@ -1,0 +1,198 @@
+#include "concurrent/gate.h"
+
+#include "common/latches.h"
+#include "common/status.h"
+
+namespace cpma {
+
+namespace {
+// Typical writer holds are sub-microsecond (one segment insert), so
+// sleeping on the condvar costs far more than the wait itself. Spin a
+// little before blocking; rebalances and resizes still park properly.
+constexpr int kSpinRounds = 48;
+}  // namespace
+
+GateAccess Gate::WriterAccess(const GateOp& op, bool allow_queue) {
+  std::unique_lock<std::mutex> lk(m_);
+  int spins = 0;
+  for (;;) {
+    if (invalidated_) return GateAccess::kInvalidated;
+    GateAccess fence_result;
+    if (!FenceCheck(op.key, &fence_result)) return fence_result;
+    if (allow_queue && writer_active_) {
+      queue_.push_back(op);
+      return GateAccess::kQueued;
+    }
+    if (state_ == State::kFree) {
+      state_ = State::kWrite;
+      // In asynchronous modes the owning writer becomes the gate's
+      // combiner (pQ set, paper §3.5); in sync mode no queue exists.
+      writer_active_ = allow_queue;
+      return GateAccess::kOwner;
+    }
+    if (spins++ < kSpinRounds) {
+      lk.unlock();
+      for (int i = 0; i < 32; ++i) SpinLock::CpuRelax();
+      lk.lock();
+      continue;
+    }
+    cv_.wait(lk);
+  }
+}
+
+GateAccess Gate::ReaderAccess(const Key* key) {
+  std::unique_lock<std::mutex> lk(m_);
+  int spins = 0;
+  for (;;) {
+    if (invalidated_) return GateAccess::kInvalidated;
+    if (key != nullptr) {
+      GateAccess fence_result;
+      if (!FenceCheck(*key, &fence_result)) return fence_result;
+    }
+    if (state_ == State::kFree || state_ == State::kRead) {
+      state_ = State::kRead;
+      ++num_readers_;
+      return GateAccess::kOwner;
+    }
+    if (spins++ < kSpinRounds) {
+      lk.unlock();
+      for (int i = 0; i < 32; ++i) SpinLock::CpuRelax();
+      lk.lock();
+      continue;
+    }
+    cv_.wait(lk);
+  }
+}
+
+void Gate::ReaderRelease() {
+  std::lock_guard<std::mutex> lk(m_);
+  CPMA_CHECK(state_ == State::kRead && num_readers_ > 0);
+  if (--num_readers_ == 0) {
+    state_ = State::kFree;
+    cv_.notify_all();
+  }
+}
+
+bool Gate::WriterPopOrRelease(GateOp* op) {
+  std::lock_guard<std::mutex> lk(m_);
+  CPMA_CHECK(state_ == State::kWrite);
+  if (queue_.empty()) {
+    writer_active_ = false;
+    state_ = State::kFree;
+    cv_.notify_all();
+    return false;
+  }
+  *op = queue_.front();
+  queue_.pop_front();
+  return true;
+}
+
+std::deque<GateOp> Gate::WriterTakeQueue() {
+  std::lock_guard<std::mutex> lk(m_);
+  CPMA_CHECK(state_ == State::kWrite);
+  std::deque<GateOp> out;
+  out.swap(queue_);
+  return out;
+}
+
+bool Gate::WriterRelease() {
+  std::lock_guard<std::mutex> lk(m_);
+  CPMA_CHECK(state_ == State::kWrite);
+  if (!queue_.empty()) return false;
+  writer_active_ = false;
+  state_ = State::kFree;
+  cv_.notify_all();
+  return true;
+}
+
+void Gate::OwnerPushBack(const GateOp& op) {
+  std::lock_guard<std::mutex> lk(m_);
+  CPMA_CHECK(state_ == State::kWrite);
+  queue_.push_back(op);
+}
+
+void Gate::OwnerPushFront(const std::vector<GateOp>& ops) {
+  std::lock_guard<std::mutex> lk(m_);
+  CPMA_CHECK(state_ == State::kWrite);
+  queue_.insert(queue_.begin(), ops.begin(), ops.end());
+}
+
+void Gate::TransferToRebalancer() {
+  std::lock_guard<std::mutex> lk(m_);
+  CPMA_CHECK(state_ == State::kWrite);
+  state_ = State::kRebal;
+  master_owned_ = false;
+  // The master may already be waiting on this gate to extend a window;
+  // an unowned REBAL gate is acquirable by it.
+  cv_.notify_all();
+}
+
+bool Gate::WriterReacquireAfterRebal() {
+  std::unique_lock<std::mutex> lk(m_);
+  for (;;) {
+    if (invalidated_) return false;
+    if (state_ == State::kFree) {
+      state_ = State::kWrite;
+      return true;
+    }
+    cv_.wait(lk);
+  }
+}
+
+void Gate::WriterDetachKeepQueue() {
+  std::lock_guard<std::mutex> lk(m_);
+  CPMA_CHECK(state_ == State::kWrite && writer_active_);
+  state_ = State::kFree;
+  cv_.notify_all();
+}
+
+void Gate::MasterAcquire() {
+  std::unique_lock<std::mutex> lk(m_);
+  cv_.wait(lk, [&] {
+    return state_ == State::kFree ||
+           (state_ == State::kRebal && !master_owned_);
+  });
+  state_ = State::kRebal;
+  master_owned_ = true;
+}
+
+void Gate::MasterRelease() {
+  std::lock_guard<std::mutex> lk(m_);
+  CPMA_CHECK(state_ == State::kRebal && master_owned_);
+  state_ = State::kFree;
+  master_owned_ = false;
+  cv_.notify_all();
+}
+
+std::deque<GateOp> Gate::MasterTakeQueue() {
+  std::lock_guard<std::mutex> lk(m_);
+  CPMA_CHECK(state_ == State::kRebal && master_owned_);
+  std::deque<GateOp> out;
+  out.swap(queue_);
+  return out;
+}
+
+void Gate::MasterClearWriterActive() {
+  std::lock_guard<std::mutex> lk(m_);
+  CPMA_CHECK(state_ == State::kRebal && master_owned_);
+  writer_active_ = false;
+}
+
+void Gate::InvalidateAndRelease() {
+  std::lock_guard<std::mutex> lk(m_);
+  CPMA_CHECK(state_ == State::kRebal && master_owned_);
+  CPMA_CHECK_MSG(queue_.empty(), "resize must drain combining queues");
+  invalidated_ = true;
+  writer_active_ = false;
+  state_ = State::kFree;
+  master_owned_ = false;
+  cv_.notify_all();
+}
+
+void Gate::SetFences(Key low, Key high) {
+  std::lock_guard<std::mutex> lk(m_);
+  low_fence_ = low;
+  high_fence_ = high;
+}
+
+}  // namespace cpma

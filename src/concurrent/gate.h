@@ -1,0 +1,196 @@
+// Gate: per-chunk concurrency metadata (paper §3.1).
+//
+// The sparse array is split into fixed-size chunks of `segments_per_gate`
+// segments; each chunk is guarded by one Gate carrying
+//   (a) the chunk's read-write latch — a {FREE, READ, WRITE, REBAL}
+//       state machine on a mutex/condvar pair. REBAL marks ownership by
+//       the rebalancer service: a writer *transfers* its WRITE hold to
+//       the master (paper §3.3) and the master acquires whole windows;
+//   (b) the fence keys [low_fence, high_fence], the inclusive key range
+//       this chunk may store. Clients validate their key against the
+//       fences after every (latch-free, possibly stale) index descent and
+//       walk to a neighbour gate on mismatch (paper §3.2);
+//   (c) the local-combining queue (paper §3.5): while a writer is active
+//       on the gate (`writer_active`), later writers append their update
+//       and return immediately; the active writer (or the rebalancer, for
+//       deferred batches) drains the queue;
+//   (d) the per-segment minimum keys that aid lookups inside a chunk —
+//       these live in Storage::route() and need no duplication here;
+//   (e) the `invalidated` flag set when a resize replaced the whole
+//       structure: woken clients restart in a new epoch (paper §3.4).
+//
+// Deadlock freedom: clients hold at most one gate latch; only the single
+// rebalancer master ever holds several.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/ordered_map.h"
+#include "pma/item.h"
+
+namespace cpma {
+
+/// A queued update forwarded between writers (local combining).
+struct GateOp {
+  enum class Type : uint8_t { kInsert, kRemove };
+  Type type;
+  Key key;
+  Value value;
+};
+
+/// Outcome of an access attempt; see Gate::WriterAccess / ReaderAccess.
+enum class GateAccess {
+  kOwner,        // latch acquired; caller is responsible for release
+  kQueued,       // update handed to the gate's active writer; caller done
+  kInvalidated,  // gate belongs to a retired snapshot; restart
+  kTooLow,       // key below low fence: retry on the left neighbour
+  kTooHigh,      // key above high fence: retry on the right neighbour
+};
+
+class Gate {
+ public:
+  enum class State : uint8_t { kFree, kRead, kWrite, kRebal };
+
+  Gate(uint32_t id, size_t seg_begin, size_t seg_end)
+      : id_(id), seg_begin_(seg_begin), seg_end_(seg_end) {}
+
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  uint32_t id() const { return id_; }
+  size_t seg_begin() const { return seg_begin_; }
+  size_t seg_end() const { return seg_end_; }
+
+  // ------------------------------------------------------------ clients
+
+  /// Writer entry point. Validates fences, then either acquires the
+  /// latch exclusively (kOwner), forwards `op` to the already-active
+  /// writer (kQueued; only when `allow_queue`), or reports the reason to
+  /// move on. Blocks while the gate is held by readers/writers/rebalancer
+  /// and no queueing is possible.
+  GateAccess WriterAccess(const GateOp& op, bool allow_queue);
+
+  /// Reader entry point: shared acquisition with fence validation.
+  /// `key` may be nullptr for "any key" access (scan cursor positioning
+  /// is done by the caller).
+  GateAccess ReaderAccess(const Key* key);
+
+  void ReaderRelease();
+
+  /// Active writer: pop one queued op (one-by-one processing). Returns
+  /// false when the queue is empty, in which case the gate has been
+  /// released and `writer_active` cleared.
+  bool WriterPopOrRelease(GateOp* op);
+
+  /// Active writer: take the whole queue (batch processing) without
+  /// releasing. Returns an empty deque when nothing is pending.
+  std::deque<GateOp> WriterTakeQueue();
+
+  /// Active writer: release the latch; clears writer_active only when
+  /// the queue is empty (returns true). If false, the caller must keep
+  /// draining (new ops arrived).
+  bool WriterRelease();
+
+  /// Active writer: push its own (or re-sorted) ops back onto the queue,
+  /// e.g. when deferring a batch to the rebalancer.
+  void OwnerPushBack(const GateOp& op);
+
+  /// Active writer: prepend older ops (a batch remainder) ahead of any
+  /// updates that arrived while the batch was being processed, keeping
+  /// per-key arrival order intact.
+  void OwnerPushFront(const std::vector<GateOp>& ops);
+
+  /// Active writer: convert WRITE -> REBAL, handing the latch to the
+  /// rebalancer (paper: "transfers the ownership of the held latch").
+  /// writer_active stays set: the caller remains the gate's combiner and
+  /// must call WriterReacquireAfterRebal() afterwards.
+  void TransferToRebalancer();
+
+  /// Block until the rebalancer released the gate, then re-take WRITE.
+  /// Returns false if the gate was invalidated by a resize instead.
+  bool WriterReacquireAfterRebal();
+
+  /// Active writer in batch mode, t_delay not yet elapsed: release the
+  /// latch but keep writer_active so the queue keeps accumulating for
+  /// the rebalancer (paper: "transfers the ownership of its queue to the
+  /// rebalancer, leaving pQ still set").
+  void WriterDetachKeepQueue();
+
+  // --------------------------------------------------------- rebalancer
+
+  /// Master: acquire the gate for a rebalance. Waits for readers and
+  /// writers to drain; takes over gates already in REBAL that were
+  /// transferred by a writer.
+  void MasterAcquire();
+
+  /// Master: release after a rebalance; wakes all waiters.
+  void MasterRelease();
+
+  /// Master (holding the gate): take the combining queue for merging.
+  std::deque<GateOp> MasterTakeQueue();
+
+  /// Master (holding the gate): clear writer_active after consuming a
+  /// detached queue, so the next writer becomes the combiner again.
+  void MasterClearWriterActive();
+
+  /// Master: mark the gate as belonging to a retired snapshot and wake
+  /// everyone (resize path). Also releases the latch.
+  void InvalidateAndRelease();
+
+  // ----------------------------------------------------------- metadata
+
+  // Fence keys. Written by the master while holding the gate (under the
+  // internal mutex so queueing writers can validate), read under the
+  // latch or the mutex.
+  Key low_fence() const { return low_fence_; }
+  Key high_fence() const { return high_fence_; }
+  void SetFences(Key low, Key high);
+
+  int64_t last_global_rebalance_ms() const {
+    return last_global_rebalance_ms_;
+  }
+  void set_last_global_rebalance_ms(int64_t t) {
+    last_global_rebalance_ms_ = t;
+  }
+
+  bool writer_active_unsafe() const { return writer_active_; }
+  size_t queue_size_unsafe() const { return queue_.size(); }
+
+ private:
+  bool FenceCheck(Key key, GateAccess* out) const {
+    if (key < low_fence_) {
+      *out = GateAccess::kTooLow;
+      return false;
+    }
+    if (key > high_fence_) {
+      *out = GateAccess::kTooHigh;
+      return false;
+    }
+    return true;
+  }
+
+  const uint32_t id_;
+  const size_t seg_begin_;
+  const size_t seg_end_;
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  State state_ = State::kFree;
+  uint32_t num_readers_ = 0;
+  bool master_owned_ = false;
+  bool invalidated_ = false;
+
+  bool writer_active_ = false;
+  std::deque<GateOp> queue_;
+
+  Key low_fence_ = kKeyMin;
+  Key high_fence_ = kKeySentinel;
+  int64_t last_global_rebalance_ms_ = 0;
+};
+
+}  // namespace cpma

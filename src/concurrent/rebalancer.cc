@@ -1,0 +1,440 @@
+#include "concurrent/rebalancer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/timer.h"
+#include "pma/density.h"
+
+namespace cpma {
+
+std::vector<BatchEntry> CanonicalizeBatch(const std::deque<GateOp>& ops) {
+  // Arrival order decides per-key winners (last op wins), output sorted.
+  std::map<Key, BatchEntry> canon;
+  for (const GateOp& op : ops) {
+    canon[op.key] = BatchEntry{op.key, op.value,
+                               op.type == GateOp::Type::kRemove};
+  }
+  std::vector<BatchEntry> out;
+  out.reserve(canon.size());
+  for (auto& [k, e] : canon) out.push_back(e);
+  return out;
+}
+
+Rebalancer::Rebalancer(ConcurrentPMA* pma, size_t num_workers)
+    : pma_(pma), workers_(num_workers) {}
+
+Rebalancer::~Rebalancer() { Stop(); }
+
+void Rebalancer::Start() {
+  if (master_.joinable()) return;
+  master_ = std::thread([this] { MasterLoop(); });
+}
+
+void Rebalancer::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (!master_.joinable()) return;
+    stop_ = true;
+    ignore_due_times_ = true;
+  }
+  cv_.notify_all();
+  master_.join();
+}
+
+void Rebalancer::RequestRebalance(uint64_t version, uint32_t gate_id,
+                                  size_t trigger_seg) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    ready_.push_back(Request{Request::Type::kRebalance, version, gate_id,
+                             trigger_seg, 0});
+  }
+  cv_.notify_all();
+}
+
+void Rebalancer::RequestBatch(uint64_t version, uint32_t gate_id,
+                              int64_t due_ms) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (due_ms <= NowMillis() || ignore_due_times_) {
+      ready_.push_back(
+          Request{Request::Type::kBatch, version, gate_id, 0, due_ms});
+    } else {
+      deferred_.push_back(
+          Request{Request::Type::kBatch, version, gate_id, 0, due_ms});
+    }
+  }
+  cv_.notify_all();
+}
+
+void Rebalancer::RequestShrink(uint64_t version) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    ready_.push_back(Request{Request::Type::kShrink, version, 0, 0, 0});
+  }
+  cv_.notify_all();
+}
+
+void Rebalancer::Drain() {
+  std::unique_lock<std::mutex> lk(m_);
+  if (!master_.joinable()) return;
+  ignore_due_times_ = true;
+  cv_.notify_all();
+  idle_cv_.wait(lk, [&] {
+    return ready_.empty() && deferred_.empty() && !processing_;
+  });
+  ignore_due_times_ = false;
+}
+
+bool Rebalancer::Idle() {
+  std::lock_guard<std::mutex> lk(m_);
+  return ready_.empty() && deferred_.empty() && !processing_;
+}
+
+void Rebalancer::MasterLoop() {
+  std::unique_lock<std::mutex> lk(m_);
+  for (;;) {
+    // Promote due deferred batches.
+    const int64_t now = NowMillis();
+    int64_t next_due = INT64_MAX;
+    for (auto it = deferred_.begin(); it != deferred_.end();) {
+      if (ignore_due_times_ || it->due_ms <= now) {
+        ready_.push_back(*it);
+        it = deferred_.erase(it);
+      } else {
+        next_due = std::min(next_due, it->due_ms);
+        ++it;
+      }
+    }
+    if (!ready_.empty()) {
+      Request req = ready_.front();
+      ready_.pop_front();
+      processing_ = true;
+      lk.unlock();
+      Dispatch(req);
+      lk.lock();
+      processing_ = false;
+      idle_cv_.notify_all();
+      continue;
+    }
+    idle_cv_.notify_all();
+    if (stop_) return;
+    if (next_due == INT64_MAX) {
+      cv_.wait(lk);
+    } else {
+      cv_.wait_for(lk, std::chrono::milliseconds(next_due - now + 1));
+    }
+  }
+}
+
+void Rebalancer::Dispatch(const Request& req) {
+  switch (req.type) {
+    case Request::Type::kRebalance:
+    case Request::Type::kBatch:
+      HandleWindowWork(req);
+      break;
+    case Request::Type::kShrink:
+      HandleShrink(req);
+      break;
+  }
+}
+
+void Rebalancer::AcquireGates(Snapshot* snap, size_t nb, size_t ne,
+                              size_t* gb, size_t* ge) {
+  if (*gb == *ge) {  // nothing held yet
+    for (size_t g = nb; g < ne; ++g) snap->gates[g].MasterAcquire();
+    *gb = nb;
+    *ge = ne;
+    return;
+  }
+  CPMA_CHECK(nb <= *gb && ne >= *ge);
+  for (size_t g = nb; g < *gb; ++g) snap->gates[g].MasterAcquire();
+  for (size_t g = *ge; g < ne; ++g) snap->gates[g].MasterAcquire();
+  *gb = nb;
+  *ge = ne;
+}
+
+void Rebalancer::ReleaseGates(Snapshot* snap, size_t gb, size_t ge) {
+  for (size_t g = gb; g < ge; ++g) snap->gates[g].MasterRelease();
+}
+
+void Rebalancer::AcquireGatesAndDrain(Snapshot* snap, size_t nb, size_t ne,
+                                      size_t* gb, size_t* ge,
+                                      std::deque<GateOp>* raw) {
+  const size_t old_b = *gb, old_e = *ge;
+  AcquireGates(snap, nb, ne, gb, ge);
+  auto drain = [&](size_t g) {
+    Gate& gate = snap->gates[g];
+    gate.MasterClearWriterActive();
+    std::deque<GateOp> q = gate.MasterTakeQueue();
+    pma_->pending_async_.fetch_sub(static_cast<int64_t>(q.size()),
+                                   std::memory_order_relaxed);
+    for (const GateOp& op : q) raw->push_back(op);
+  };
+  if (old_b == old_e) {
+    for (size_t g = *gb; g < *ge; ++g) drain(g);
+  } else {
+    for (size_t g = *gb; g < old_b; ++g) drain(g);
+    for (size_t g = old_e; g < *ge; ++g) drain(g);
+  }
+}
+
+void Rebalancer::HandleWindowWork(const Request& req) {
+  Snapshot* snap = pma_->snapshot_.load(std::memory_order_acquire);
+  if (snap->version != req.version) return;  // resized since: gate retired
+  const size_t spg = snap->segments_per_gate;
+  Storage* st = snap->storage.get();
+  const size_t B = st->segment_capacity();
+
+  size_t gb = req.gate_id, ge = req.gate_id;
+  std::deque<GateOp> raw;
+  AcquireGatesAndDrain(snap, req.gate_id, req.gate_id + 1, &gb, &ge, &raw);
+  Gate& origin = snap->gates[req.gate_id];
+
+  size_t trigger = req.trigger_seg;
+  if (trigger < origin.seg_begin() || trigger >= origin.seg_end()) {
+    trigger = origin.seg_begin();
+  }
+  // A rebalance request may have been resolved by an absorbed window
+  // while queued; with no batched work left, it is a no-op.
+  if (req.type == Request::Type::kRebalance && raw.empty() &&
+      st->card(trigger) < B) {
+    ReleaseGates(snap, gb, ge);
+    return;
+  }
+
+  DensityBounds bounds(pma_->cfg_.pma, st->num_segments());
+  const size_t gate_level = Log2Floor(spg);
+  for (size_t level = gate_level; level <= bounds.root_level(); ++level) {
+    size_t b, e;
+    WindowAt(trigger, level, &b, &e);
+    AcquireGatesAndDrain(snap, b / spg, e / spg, &gb, &ge, &raw);
+    std::vector<BatchEntry> batch = CanonicalizeBatch(raw);
+    size_t ins = 0, del = 0;
+    const size_t total = CountMerged(*st, b, e, batch, &ins, &del);
+    const size_t cap = (e - b) * B;
+    const double delta =
+        static_cast<double>(total) / static_cast<double>(cap);
+    if (delta <= bounds.Tau(level) && total + (e - b) <= cap) {
+      if (batch.empty()) {
+        ExecuteSpread(snap, b, e, trigger);
+      } else {
+        ExecuteMergedSpread(snap, b, e, batch, total);
+        pma_->count_.fetch_add(ins, std::memory_order_relaxed);
+        pma_->count_.fetch_sub(del, std::memory_order_relaxed);
+        pma_->stat_batches_.fetch_add(1, std::memory_order_relaxed);
+      }
+      UpdateFences(snap, b / spg, e / spg);
+      const int64_t now = NowMillis();
+      for (size_t g = b / spg; g < e / spg; ++g) {
+        snap->gates[g].set_last_global_rebalance_ms(now);
+      }
+      pma_->stat_global_rebalances_.fetch_add(1, std::memory_order_relaxed);
+      ReleaseGates(snap, gb, ge);
+      return;
+    }
+  }
+  // Even the root violates its threshold: resize, merging the batch.
+  AcquireGates(snap, 0, snap->num_gates(), &gb, &ge);
+  ExecuteResize(snap, std::move(raw));
+}
+
+void Rebalancer::HandleShrink(const Request& req) {
+  Snapshot* snap = pma_->snapshot_.load(std::memory_order_acquire);
+  if (snap->version != req.version) return;
+  if (snap->num_gates() <= 2) return;
+  size_t gb = 0, ge = 0;
+  AcquireGates(snap, 0, snap->num_gates(), &gb, &ge);
+  // Re-validate under full ownership.
+  Storage* st = snap->storage.get();
+  size_t total = 0;
+  for (size_t s = 0; s < st->num_segments(); ++s) total += st->card(s);
+  if (static_cast<double>(total) <
+      pma_->cfg_.pma.shrink_density * static_cast<double>(st->capacity())) {
+    ExecuteResize(snap);
+  } else {
+    snap->resize_requested.store(false, std::memory_order_release);
+    ReleaseGates(snap, gb, ge);
+  }
+}
+
+void Rebalancer::ExecuteSpread(Snapshot* snap, size_t seg_b, size_t seg_e,
+                               size_t trigger_seg) {
+  Storage* st = snap->storage.get();
+  const size_t spg = snap->segments_per_gate;
+  const size_t window_gates = (seg_e - seg_b) / spg;
+  WindowPlan plan = PlanSpread(*st, seg_b, seg_e, pma_->adaptive_effective(),
+                               trigger_seg);
+  const size_t P =
+      std::min(workers_.num_threads(), window_gates);
+  if (P >= 2 &&
+      window_gates >= pma_->cfg_.parallel_rebalance_min_gates) {
+    // Phase 1: all partitions copy into the buffer (reads from the live
+    // array never conflict with buffer writes). Phase 2: only after every
+    // copy completed are the pages rewired — the "delayed rewiring"
+    // coordination of §3.3.
+    const size_t gates_per_part = (window_gates + P - 1) / P;
+    std::vector<std::pair<size_t, size_t>> parts;
+    for (size_t g = 0; g < window_gates; g += gates_per_part) {
+      const size_t g_end = std::min(g + gates_per_part, window_gates);
+      parts.emplace_back(seg_b + g * spg, seg_b + g_end * spg);
+    }
+    WaitGroup wg;
+    wg.Add(static_cast<int>(parts.size()));
+    for (auto [pb, pe] : parts) {
+      workers_.Submit([st, &plan, pb, pe, &wg] {
+        CopyPartitionToBuffer(st, plan, pb, pe);
+        wg.Done();
+      });
+    }
+    wg.Wait();
+    wg.Add(static_cast<int>(parts.size()));
+    for (auto [pb, pe] : parts) {
+      workers_.Submit([st, pb, pe, &wg] {
+        st->SwapWindow(pb, pe);
+        wg.Done();
+      });
+    }
+    wg.Wait();
+    FinishSpread(st, plan, /*swap=*/false);
+  } else {
+    CopyPartitionToBuffer(st, plan, seg_b, seg_e);
+    FinishSpread(st, plan, /*swap=*/true);
+  }
+}
+
+void Rebalancer::ExecuteMergedSpread(Snapshot* snap, size_t seg_b,
+                                     size_t seg_e,
+                                     const std::vector<BatchEntry>& ops,
+                                     size_t merged_total) {
+  Storage* st = snap->storage.get();
+  WindowPlan plan = PlanMergedSpread(*st, seg_b, seg_e, merged_total);
+  MergedCopyToBuffer(st, plan, ops);
+  FinishSpread(st, plan, /*swap=*/true);
+}
+
+void Rebalancer::UpdateFences(Snapshot* snap, size_t gb, size_t ge) {
+  RecomputeFences(snap, gb, ge);
+}
+
+void Rebalancer::ExecuteResize(Snapshot* snap, std::deque<GateOp> extra) {
+  Storage* st = snap->storage.get();
+  // Drain every combining queue; those updates are merged into the new
+  // array in one pass (then the queues' gates die with the snapshot).
+  std::deque<GateOp> all_ops = std::move(extra);
+  for (size_t g = 0; g < snap->num_gates(); ++g) {
+    Gate& gate = snap->gates[g];
+    gate.MasterClearWriterActive();
+    std::deque<GateOp> q = gate.MasterTakeQueue();
+    pma_->pending_async_.fetch_sub(static_cast<int64_t>(q.size()),
+                                   std::memory_order_relaxed);
+    for (const GateOp& op : q) all_ops.push_back(op);
+  }
+  std::vector<BatchEntry> batch = CanonicalizeBatch(all_ops);
+  size_t ins = 0, del = 0;
+  const size_t total =
+      CountMerged(*st, 0, st->num_segments(), batch, &ins, &del);
+
+  const size_t new_segs = SegmentsForCount(total);
+  auto fresh = std::make_unique<Storage>(
+      new_segs, pma_->cfg_.pma.segment_capacity, pma_->cfg_.pma.use_rewiring);
+  MergedStreamInto(*st, batch, total, fresh.get());
+
+  auto* ns = new Snapshot();
+  ns->version = snap->version + 1;
+  ns->segments_per_gate = snap->segments_per_gate;
+  ns->storage = std::move(fresh);
+  const size_t num_gates = new_segs / snap->segments_per_gate;
+  for (size_t g = 0; g < num_gates; ++g) {
+    ns->gates.emplace_back(static_cast<uint32_t>(g),
+                           g * snap->segments_per_gate,
+                           (g + 1) * snap->segments_per_gate);
+  }
+  ns->index =
+      std::make_unique<StaticIndex>(num_gates, pma_->cfg_.index_fanout);
+  RecomputeFences(ns, 0, num_gates);
+
+  pma_->count_.store(total, std::memory_order_relaxed);
+  pma_->snapshot_.store(ns, std::memory_order_release);
+  pma_->stat_resizes_.fetch_add(1, std::memory_order_relaxed);
+
+  // Wake every client parked on the old gates; they observe the
+  // invalidation, refresh their epoch and restart on the new snapshot.
+  for (size_t g = 0; g < snap->num_gates(); ++g) {
+    snap->gates[g].InvalidateAndRelease();
+  }
+  pma_->gc_.Retire([snap] { delete snap; });
+}
+
+void Rebalancer::MasterApplyOp(const GateOp& op) {
+  for (;;) {
+    Snapshot* snap = pma_->snapshot_.load(std::memory_order_acquire);
+    size_t gid = snap->index->Lookup(op.key);
+    Gate* gate;
+    for (;;) {
+      gate = &snap->gates[gid];
+      gate->MasterAcquire();
+      if (op.key < gate->low_fence()) {
+        gate->MasterRelease();
+        CPMA_CHECK(gid > 0);
+        --gid;
+      } else if (op.key > gate->high_fence()) {
+        gate->MasterRelease();
+        CPMA_CHECK(gid + 1 < snap->num_gates());
+        ++gid;
+      } else {
+        break;
+      }
+    }
+    size_t trigger = 0;
+    if (pma_->ApplyOpLocal(snap, gate, op, &trigger)) {
+      gate->MasterRelease();
+      return;
+    }
+    // Needs a multi-gate window; expand inline (we are the master).
+    const size_t spg = snap->segments_per_gate;
+    Storage* st = snap->storage.get();
+    const size_t B = st->segment_capacity();
+    DensityBounds bounds(pma_->cfg_.pma, st->num_segments());
+    size_t gb = gid, ge = gid + 1;
+    bool spread = false;
+    for (size_t level = Log2Floor(spg); level <= bounds.root_level();
+         ++level) {
+      size_t b, e;
+      WindowAt(trigger, level, &b, &e);
+      AcquireGates(snap, b / spg, e / spg, &gb, &ge);
+      size_t m = 0;
+      for (size_t s = b; s < e; ++s) m += st->card(s);
+      const size_t cap = (e - b) * B;
+      if (static_cast<double>(m) / static_cast<double>(cap) <=
+              bounds.Tau(level) &&
+          m + (e - b) <= cap) {
+        ExecuteSpread(snap, b, e, trigger);
+        UpdateFences(snap, b / spg, e / spg);
+        pma_->stat_global_rebalances_.fetch_add(1,
+                                                std::memory_order_relaxed);
+        spread = true;
+        break;
+      }
+    }
+    if (spread) {
+      ReleaseGates(snap, gb, ge);
+      continue;  // retry the op from the top (fences moved)
+    }
+    AcquireGates(snap, 0, snap->num_gates(), &gb, &ge);
+    ExecuteResize(snap, {op});
+    return;  // op merged during the resize
+  }
+}
+
+size_t Rebalancer::SegmentsForCount(size_t count) const {
+  const size_t B = pma_->cfg_.pma.segment_capacity;
+  size_t segs = 2 * pma_->cfg_.segments_per_gate;
+  while (static_cast<double>(count) >
+         0.6 * static_cast<double>(segs) * static_cast<double>(B)) {
+    segs *= 2;
+  }
+  return segs;
+}
+
+}  // namespace cpma

@@ -1,0 +1,150 @@
+// Rebalancer service (paper §3.3–3.4): one master thread plus a pool of
+// workers per sparse array.
+//
+// Writers that detect a rebalance spanning multiple gates transfer their
+// gate latch to the service (Gate::TransferToRebalancer) and enqueue a
+// request; the master computes the final window by walking the calibrator
+// tree upward, acquiring the gates it grows over, then splits the window
+// into partitions executed by the workers: each partition is copied into
+// the rewired buffer concurrently (reads from the live array, writes to
+// the buffer), and only after *all* partitions finished copying are the
+// page mappings swapped — the "delayed rewiring" coordination of §3.3.
+//
+// Batch requests (async batch mode, §3.5) carry a due time (t_delay
+// throttle); the master merges the gate's combining queue into the
+// window spread in one pass (deletions first by key order, insertions
+// merged during redistribution).
+//
+// When even the root window violates its threshold — or a shrink request
+// validates — the master rebuilds storage, gates and index at the new
+// capacity, publishes the new snapshot, and retires the old one through
+// the epoch GC (§3.4), waking all clients parked on old gates.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "concurrent/concurrent_pma.h"
+#include "pma/spread.h"
+
+namespace cpma {
+
+/// Collapse a combining queue (arrival order) into a sorted, per-key
+/// last-wins batch.
+std::vector<BatchEntry> CanonicalizeBatch(const std::deque<GateOp>& ops);
+
+class Rebalancer {
+ public:
+  Rebalancer(ConcurrentPMA* pma, size_t num_workers);
+  ~Rebalancer();
+
+  Rebalancer(const Rebalancer&) = delete;
+  Rebalancer& operator=(const Rebalancer&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Writer -> master: the gate (already in REBAL state, ownership
+  /// transferred) needs a window rebalance for a pending insertion into
+  /// `trigger_seg`.
+  void RequestRebalance(uint64_t version, uint32_t gate_id,
+                        size_t trigger_seg);
+
+  /// Writer -> master: process the gate's combining queue as a batch at
+  /// `due_ms` (NowMillis-based). The gate is left FREE with
+  /// writer_active set, so the queue keeps accumulating until then.
+  void RequestBatch(uint64_t version, uint32_t gate_id, int64_t due_ms);
+
+  /// Writer -> master (fire and forget): global density dropped below
+  /// the shrink threshold; master re-validates before resizing.
+  void RequestShrink(uint64_t version);
+
+  /// Process everything immediately (deferred batches included) and wait
+  /// until idle. Used by Flush().
+  void Drain();
+
+  bool Idle();
+
+ private:
+  struct Request {
+    enum class Type { kRebalance, kBatch, kShrink };
+    Type type;
+    uint64_t version;
+    uint32_t gate_id;
+    size_t trigger_seg;
+    int64_t due_ms;
+  };
+
+  void MasterLoop();
+  void Dispatch(const Request& req);
+
+  /// Unified handler for rebalance and batch requests: walks the
+  /// calibrator tree upward from the origin gate, draining the combining
+  /// queue of every gate the window grows over, until the *merged* total
+  /// fits the level's threshold — then spreads (worker-parallel when no
+  /// batch, merged single-pass otherwise). Draining the queues together
+  /// with the fence update keeps per-key operation order intact: an op
+  /// can never be left queued under stale fences.
+  void HandleWindowWork(const Request& req);
+  void HandleShrink(const Request& req);
+
+  /// Grow the held-gate range [*gb, *ge) to cover gates [nb, ne),
+  /// acquiring the newly covered gates.
+  void AcquireGates(Snapshot* snap, size_t nb, size_t ne, size_t* gb,
+                    size_t* ge);
+
+  /// AcquireGates + drain the combining queues of the newly acquired
+  /// gates into *raw (decrementing the owner's pending-op counter).
+  void AcquireGatesAndDrain(Snapshot* snap, size_t nb, size_t ne, size_t* gb,
+                            size_t* ge, std::deque<GateOp>* raw);
+  void ReleaseGates(Snapshot* snap, size_t gb, size_t ge);
+
+  /// Execute a (possibly worker-parallel) spread of segments [b, e).
+  void ExecuteSpread(Snapshot* snap, size_t seg_b, size_t seg_e,
+                     size_t trigger_seg);
+
+  /// Merge `ops` into segments [b, e) (master-only, single-threaded).
+  void ExecuteMergedSpread(Snapshot* snap, size_t seg_b, size_t seg_e,
+                           const std::vector<BatchEntry>& ops,
+                           size_t merged_total);
+
+  /// Recompute fence keys + index separators for gates [gb, ge) after
+  /// their chunks changed. Caller holds all these gates.
+  void UpdateFences(Snapshot* snap, size_t gb, size_t ge);
+
+  /// Full resize: requires *all* gates held ([gb,ge) == [0,num_gates)).
+  /// Drains every combining queue, merges those updates plus `extra`,
+  /// publishes a new snapshot and invalidates the old gates.
+  void ExecuteResize(Snapshot* snap, std::deque<GateOp> extra = {});
+
+  /// Master-as-client apply for ops that escaped their gate after
+  /// fences moved: acquires the (single) target gate with master
+  /// privileges (never blocks on transferred gates).
+  void MasterApplyOp(const GateOp& op);
+
+  /// Smallest valid segment count for `count` elements (power of two,
+  /// >= 2 gates, density <= 0.6).
+  size_t SegmentsForCount(size_t count) const;
+
+  ConcurrentPMA* pma_;
+  ThreadPool workers_;
+
+  std::thread master_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Request> ready_;
+  std::vector<Request> deferred_;  // unordered; master scans for due
+  bool stop_ = false;
+  bool ignore_due_times_ = false;  // Drain() mode
+  bool processing_ = false;
+};
+
+}  // namespace cpma

@@ -1,0 +1,71 @@
+#include "concurrent/static_index.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "pma/item.h"
+
+namespace cpma {
+
+StaticIndex::StaticIndex(size_t num_gates, size_t fanout)
+    : num_gates_(num_gates), fanout_(fanout) {
+  CPMA_CHECK(num_gates >= 1);
+  CPMA_CHECK(fanout >= 2);
+  size_t total = 0;
+  size_t n = num_gates;
+  for (;;) {
+    level_offset_.push_back(total);
+    level_size_.push_back(n);
+    total += n;
+    if (n == 1) break;
+    n = (n + fanout - 1) / fanout;
+  }
+  slots_ = std::make_unique<std::atomic<Key>[]>(total);
+  for (size_t i = 0; i < total; ++i) {
+    slots_[i].store(kKeySentinel, std::memory_order_relaxed);
+  }
+  SetSeparator(0, kKeyMin);
+}
+
+size_t StaticIndex::Lookup(Key key) const {
+  // Descend from the top level; at each level scan the node's group for
+  // the right-most separator <= key. Upper levels replicate the first
+  // separator of each group below, so group boundaries carry keys.
+  size_t level = num_levels() - 1;
+  size_t group = 0;  // index of the first entry of the current node
+  for (;;) {
+    const size_t base = level_offset_[level];
+    const size_t size = level_size_[level];
+    const size_t end = std::min(group + fanout_, size);
+    size_t pick = group;
+    for (size_t i = group; i < end; ++i) {
+      const Key sep = slots_[base + i].load(std::memory_order_relaxed);
+      if (sep <= key) {
+        pick = i;
+      } else {
+        break;
+      }
+    }
+    if (level == 0) return pick;
+    --level;
+    group = pick * fanout_;
+    if (group >= level_size_[level]) {
+      // Torn/stale separators can point past the end; clamp to the last
+      // group — fence validation at the gate corrects the rest.
+      group = (level_size_[level] - 1) / fanout_ * fanout_;
+    }
+  }
+}
+
+void StaticIndex::SetSeparator(size_t gate, Key low_fence) {
+  CPMA_CHECK(gate < num_gates_);
+  size_t pos = gate;
+  for (size_t level = 0; level < num_levels(); ++level) {
+    slots_[level_offset_[level] + pos].store(low_fence,
+                                             std::memory_order_relaxed);
+    if (pos % fanout_ != 0) break;  // not the first of its group: stop
+    pos /= fanout_;
+  }
+}
+
+}  // namespace cpma

@@ -1,0 +1,71 @@
+// Static index over the gates (paper §3.2).
+//
+// A B+-tree whose indexed elements are the gates, with their minimum
+// fence keys as separators. "Static" = the number of separators is fixed
+// until the whole sparse array is resized (then the index is rebuilt
+// from scratch); only separator *values* change, during rebalances.
+//
+// Layout: no pointers — each level is a dense array of keys, levels
+// stored contiguously, children located by pointer arithmetic (child j
+// of node covering group g is group g*fanout + j one level down). The
+// separator for gate g appears at leaf position g and, when g is a
+// multiple of fanout^i, at one computable slot in each of the i levels
+// above — so updating a separator touches O(log_F G) fixed positions
+// with no traversal and no latching (the paper's O(1)-style update).
+//
+// Concurrency: traversals take no latches and may observe half-updated
+// separators; they are guaranteed to land on *some* existing gate, and
+// the caller re-validates against the gate's fence keys, walking to a
+// neighbour on mismatch (Gate::WriterAccess/ReaderAccess do this).
+// Separator slots are relaxed atomics so torn reads are well-defined.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/ordered_map.h"
+#include "pma/item.h"
+
+namespace cpma {
+
+class StaticIndex {
+ public:
+  /// num_gates >= 1; fanout >= 2. All separators start at kKeySentinel
+  /// except gate 0, which is always kKeyMin.
+  StaticIndex(size_t num_gates, size_t fanout);
+
+  StaticIndex(const StaticIndex&) = delete;
+  StaticIndex& operator=(const StaticIndex&) = delete;
+
+  size_t num_gates() const { return num_gates_; }
+  size_t fanout() const { return fanout_; }
+  size_t num_levels() const { return level_offset_.size(); }
+
+  /// Id of a gate whose separator is <= key (under quiescence, the
+  /// right-most such gate). Latch-free; result may be stale — always
+  /// validate against the gate's fence keys.
+  size_t Lookup(Key key) const;
+
+  /// Publish a new separator (= low fence) for `gate`. Caller must hold
+  /// the gate's latch in exclusive/rebal mode (paper §3.2).
+  void SetSeparator(size_t gate, Key low_fence);
+
+  /// Current separator of `gate` (tests/debug).
+  Key separator(size_t gate) const {
+    return slots_[level_offset_[0] + gate].load(std::memory_order_relaxed);
+  }
+
+ private:
+  size_t num_gates_;
+  size_t fanout_;
+  // level_offset_[l] = start of level l in slots_; level 0 = leaves
+  // (num_gates_ entries), level l has ceil(level[l-1] / fanout) entries.
+  std::vector<size_t> level_offset_;
+  std::vector<size_t> level_size_;
+  std::unique_ptr<std::atomic<Key>[]> slots_;
+};
+
+}  // namespace cpma

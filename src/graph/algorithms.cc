@@ -1,0 +1,86 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace cpma {
+
+std::vector<uint32_t> Bfs(const DynamicGraph& g, VertexId source) {
+  const VertexId n = g.NumVertices();
+  std::vector<uint32_t> dist(n, kUnreachable);
+  if (source >= n) return dist;
+  dist[source] = 0;
+  std::deque<VertexId> frontier{source};
+  while (!frontier.empty()) {
+    const VertexId u = frontier.front();
+    frontier.pop_front();
+    const uint32_t du = dist[u];
+    g.ForEachNeighbor(u, [&](VertexId v, Value) {
+      if (v < n && dist[v] == kUnreachable) {
+        dist[v] = du + 1;
+        frontier.push_back(v);
+      }
+      return true;
+    });
+  }
+  return dist;
+}
+
+std::vector<double> PageRank(const DynamicGraph& g, int iterations) {
+  const VertexId n = g.NumVertices();
+  const double damping = 0.85;
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n);
+  std::vector<uint32_t> out_degree(n);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(out_degree.begin(), out_degree.end(), 0u);
+    g.ForEachEdge([&](VertexId s, VertexId, Value) {
+      if (s < n) ++out_degree[s];
+      return true;
+    });
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (out_degree[v] == 0) dangling += rank[v];
+    }
+    g.ForEachEdge([&](VertexId s, VertexId d, Value) {
+      if (s < n && d < n && out_degree[s] > 0) {
+        next[d] += rank[s] / out_degree[s];
+      }
+      return true;
+    });
+    for (VertexId v = 0; v < n; ++v) {
+      rank[v] = (1.0 - damping) / n +
+                damping * (next[v] + dangling / n);
+    }
+  }
+  return rank;
+}
+
+std::vector<VertexId> ConnectedComponents(const DynamicGraph& g,
+                                          int max_rounds) {
+  const VertexId n = g.NumVertices();
+  std::vector<VertexId> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = v;
+  for (int round = 0; round < max_rounds; ++round) {
+    bool changed = false;
+    g.ForEachEdge([&](VertexId s, VertexId d, Value) {
+      if (s < n && d < n) {
+        const VertexId m = std::min(label[s], label[d]);
+        if (label[s] != m) {
+          label[s] = m;
+          changed = true;
+        }
+        if (label[d] != m) {
+          label[d] = m;
+          changed = true;
+        }
+      }
+      return true;
+    });
+    if (!changed) break;
+  }
+  return label;
+}
+
+}  // namespace cpma

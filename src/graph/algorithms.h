@@ -1,0 +1,29 @@
+// Graph analytics over the dynamic CRS graph. These are the "readers"
+// of the paper's motivating workload: they run as ordinary scan clients
+// of the underlying PMA, concurrently with edge updates.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+
+namespace cpma {
+
+constexpr uint32_t kUnreachable = UINT32_MAX;
+
+/// Breadth-first search from `source`; returns hop distances per vertex
+/// (kUnreachable for vertices not reached). Snapshot semantics are
+/// relaxed under concurrent updates (as in the paper's analytics).
+std::vector<uint32_t> Bfs(const DynamicGraph& g, VertexId source);
+
+/// PageRank with uniform teleport (damping 0.85), `iterations` rounds.
+std::vector<double> PageRank(const DynamicGraph& g, int iterations);
+
+/// Connected components (on the undirected view) via label propagation;
+/// returns the component label per vertex.
+std::vector<VertexId> ConnectedComponents(const DynamicGraph& g,
+                                          int max_rounds = 64);
+
+}  // namespace cpma

@@ -1,0 +1,47 @@
+#include "graph/dynamic_graph.h"
+
+namespace cpma {
+
+DynamicGraph::DynamicGraph(const ConcurrentConfig& config) : edges_(config) {}
+
+void DynamicGraph::AddEdge(VertexId src, VertexId dst, Value weight) {
+  NoteVertex(src);
+  NoteVertex(dst);
+  edges_.Insert(EdgeKey(src, dst), weight);
+}
+
+void DynamicGraph::RemoveEdge(VertexId src, VertexId dst) {
+  edges_.Remove(EdgeKey(src, dst));
+}
+
+bool DynamicGraph::HasEdge(VertexId src, VertexId dst, Value* weight) const {
+  return edges_.Find(EdgeKey(src, dst), weight);
+}
+
+void DynamicGraph::ForEachNeighbor(
+    VertexId src, const std::function<bool(VertexId, Value)>& cb) const {
+  const Key lo = EdgeKey(src, 0);
+  const Key hi = EdgeKey(src, UINT32_MAX);
+  edges_.Scan(lo, hi, [&](Key k, Value v) {
+    return cb(static_cast<VertexId>(k & 0xFFFFFFFFu), v);
+  });
+}
+
+void DynamicGraph::ForEachEdge(
+    const std::function<bool(VertexId, VertexId, Value)>& cb) const {
+  edges_.Scan(0, kKeyMax, [&](Key k, Value v) {
+    return cb(static_cast<VertexId>(k >> 32),
+              static_cast<VertexId>(k & 0xFFFFFFFFu), v);
+  });
+}
+
+size_t DynamicGraph::OutDegree(VertexId src) const {
+  size_t n = 0;
+  ForEachNeighbor(src, [&](VertexId, Value) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+}  // namespace cpma

@@ -1,0 +1,83 @@
+// Dynamic CRS graph on a concurrent PMA (paper §6).
+//
+// The classical read-only CRS layout stores all edges contiguously
+// sorted by (source, destination). Replacing the dense edge array by a
+// sparse array keeps the O(1)-style navigation — a vertex's adjacency
+// list is one contiguous key range scan — while supporting concurrent
+// updates through the PMA's gate/rebalancer machinery.
+//
+// Edges are keyed (src << 32 | dst); the edge weight is the value.
+// Neighbour iteration is a PMA range scan over [src<<32, src<<32 | ~0],
+// so analytics (BFS, PageRank, ...) run concurrently with edge updates,
+// which is precisely the workload class the paper's introduction
+// motivates (ride sharing, dashboards, network monitoring).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "concurrent/concurrent_pma.h"
+
+namespace cpma {
+
+using VertexId = uint32_t;
+
+class DynamicGraph {
+ public:
+  explicit DynamicGraph(const ConcurrentConfig& config = ConcurrentConfig());
+
+  /// Insert (or re-weight) the directed edge src -> dst.
+  void AddEdge(VertexId src, VertexId dst, Value weight = 1);
+
+  /// Remove the directed edge if present.
+  void RemoveEdge(VertexId src, VertexId dst);
+
+  /// True and *weight set if src -> dst exists.
+  bool HasEdge(VertexId src, VertexId dst, Value* weight = nullptr) const;
+
+  /// Visit dst/weight of every outgoing edge of src, ascending by dst.
+  /// Return false from the callback to stop early.
+  void ForEachNeighbor(
+      VertexId src,
+      const std::function<bool(VertexId, Value)>& cb) const;
+
+  /// Visit every edge (src, dst, weight) in CRS order.
+  void ForEachEdge(const std::function<bool(VertexId, VertexId, Value)>& cb)
+      const;
+
+  /// Out-degree of src (range-scan count).
+  size_t OutDegree(VertexId src) const;
+
+  size_t NumEdges() const { return edges_.Size(); }
+
+  /// Upper bound on vertex ids seen so far (+1).
+  VertexId NumVertices() const {
+    return max_vertex_.load(std::memory_order_relaxed) + 1;
+  }
+
+  /// Wait for asynchronously queued edge updates to apply.
+  void Flush() { edges_.Flush(); }
+
+  const ConcurrentPMA& edges() const { return edges_; }
+
+  static Key EdgeKey(VertexId src, VertexId dst) {
+    return (static_cast<Key>(src) << 32) | dst;
+  }
+
+ private:
+  void NoteVertex(VertexId v) {
+    VertexId cur = max_vertex_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_vertex_.compare_exchange_weak(cur, v,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+
+  ConcurrentPMA edges_;
+  std::atomic<VertexId> max_vertex_{0};
+};
+
+}  // namespace cpma

@@ -1,0 +1,71 @@
+// Tunables of the packed memory array (paper §2 and §4 configuration).
+
+#pragma once
+
+#include <cstddef>
+
+namespace cpma {
+
+struct PmaConfig {
+  /// Slots per segment (B in the paper; 128 in the evaluation, ablation
+  /// uses 256). Must be a power of two >= 4.
+  size_t segment_capacity = 128;
+
+  /// Density thresholds 0 <= rho_leaf < rho_root <= tau_root < tau_leaf <= 1
+  /// (rho_1, rho_h, tau_h, tau_1 in the paper). Defaults are the paper's:
+  /// rho_1 = 0.5, tau_1 = 1, rho_h = tau_h = 0.75.
+  double rho_leaf = 0.5;
+  double rho_root = 0.75;
+  double tau_root = 0.75;
+  double tau_leaf = 1.0;
+
+  /// Paper §4: "we relax the lower threshold to rho_1 = 0". When true,
+  /// deletions only trigger a local rebalance when a segment would become
+  /// empty (we keep >= 1 element per segment whenever N >= #segments so
+  /// that routing stays well-defined), and the array shrinks only on the
+  /// global density check below.
+  bool relax_lower = true;
+
+  /// Global density below which the array is downsized. The paper states
+  /// 50%; combined with power-of-two capacity halving/doubling that value
+  /// would oscillate (doubling lands at 37.5%), so we use 0.3 as the
+  /// hysteresis point (documented in DESIGN.md).
+  double shrink_density = 0.3;
+
+  /// Adaptive rebalancing (Bender & Hu; paper §2 "Adaptive rebalancing").
+  /// Gaps are allocated proportionally to recent insertion activity.
+  bool adaptive = true;
+
+  /// Use mmap-based memory rewiring for rebalances when available.
+  bool use_rewiring = true;
+
+  /// Initial number of segments (power of two, >= 2).
+  size_t initial_num_segments = 2;
+};
+
+struct ConcurrentConfig {
+  PmaConfig pma;
+
+  /// Segments per gate (paper §4: 8).
+  size_t segments_per_gate = 8;
+
+  /// Fan-out of the static index over gates.
+  size_t index_fanout = 16;
+
+  /// Worker threads in the rebalancer pool (paper §4: 8).
+  size_t rebalancer_workers = 8;
+
+  /// Asynchronous update policy (paper §3.5).
+  enum class AsyncMode { kSync, kOneByOne, kBatch };
+  AsyncMode async_mode = AsyncMode::kBatch;
+
+  /// Minimum time between global rebalances of the same gate in batch
+  /// mode (paper §3.5; evaluation default 100 ms).
+  int64_t t_delay_ms = 100;
+
+  /// Segment span above which a worker-parallel rebalance is used rather
+  /// than the master doing the spread alone (always a multiple of gates).
+  size_t parallel_rebalance_min_gates = 4;
+};
+
+}  // namespace cpma

@@ -1,0 +1,72 @@
+// Calibrator tree density thresholds (paper §2).
+//
+// The calibrator tree is implicit: its leaves are the segments, and the
+// node at level l (l = 0 for leaves) covers an aligned window of 2^l
+// segments. A tree over S segments (S a power of two) has height
+// h = log2(S) + 1; a node at level l has height k = l + 1, and
+//
+//   tau_k = tau_h + (tau_1 - tau_h) * (h - k) / (h - 1)
+//   rho_k = rho_h - (rho_h - rho_1) * (h - k) / (h - 1)
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "pma/config.h"
+
+namespace cpma {
+
+inline size_t Log2Floor(size_t x) {
+  CPMA_CHECK(x > 0);
+  size_t l = 0;
+  while (x >>= 1) ++l;
+  return l;
+}
+
+inline bool IsPowerOfTwo(size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+class DensityBounds {
+ public:
+  DensityBounds(const PmaConfig& cfg, size_t num_segments)
+      : cfg_(cfg), num_levels_(Log2Floor(num_segments) + 1) {
+    CPMA_CHECK(IsPowerOfTwo(num_segments));
+  }
+
+  /// Height of the calibrator tree (h in the paper).
+  size_t height() const { return num_levels_; }
+
+  /// Number of levels (root level index = height() - 1).
+  size_t root_level() const { return num_levels_ - 1; }
+
+  /// Upper density threshold for a node at level l (0 = leaf).
+  double Tau(size_t level) const {
+    const double h = static_cast<double>(num_levels_);
+    if (num_levels_ == 1) return cfg_.tau_root;
+    const double k = static_cast<double>(level + 1);
+    return cfg_.tau_root + (cfg_.tau_leaf - cfg_.tau_root) * (h - k) / (h - 1);
+  }
+
+  /// Lower density threshold for a node at level l (0 = leaf). When the
+  /// paper's relaxation is active the lower bound is 0 everywhere except
+  /// the implicit ">= 1 element per segment" rule enforced by rebalances.
+  double Rho(size_t level) const {
+    if (cfg_.relax_lower) return 0.0;
+    const double h = static_cast<double>(num_levels_);
+    if (num_levels_ == 1) return cfg_.rho_root;
+    const double k = static_cast<double>(level + 1);
+    return cfg_.rho_root - (cfg_.rho_root - cfg_.rho_leaf) * (h - k) / (h - 1);
+  }
+
+ private:
+  PmaConfig cfg_;
+  size_t num_levels_;
+};
+
+/// Aligned window of 2^level segments containing `seg`.
+inline void WindowAt(size_t seg, size_t level, size_t* begin, size_t* end) {
+  *begin = (seg >> level) << level;
+  *end = *begin + (size_t{1} << level);
+}
+
+}  // namespace cpma

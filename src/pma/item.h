@@ -1,0 +1,22 @@
+// Element stored in the packed memory array: an 8-byte key / 8-byte
+// value pair, exactly the element type used in the paper's evaluation.
+
+#pragma once
+
+#include "common/ordered_map.h"
+
+namespace cpma {
+
+struct Item {
+  Key key;
+  Value value;
+};
+
+static_assert(sizeof(Item) == 16, "Item must stay 16 bytes (scan locality)");
+
+/// Sentinel key used internally for routing tables; never stored.
+/// Public API keys must lie in [kKeyMin, kKeyMax] with
+/// kKeyMax = UINT64_MAX - 1 (see ordered_map.h).
+constexpr Key kKeySentinel = UINT64_MAX;
+
+}  // namespace cpma

@@ -1,0 +1,376 @@
+#include "pma/spread.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace cpma {
+
+namespace {
+
+/// Largest-remainder allocation of `gaps` empty slots over n segments,
+/// proportionally to weights. Returns per-segment gap counts summing to
+/// exactly `gaps`.
+std::vector<uint32_t> AllocateGaps(const std::vector<uint64_t>& weights,
+                                   uint64_t gaps, uint32_t seg_capacity) {
+  const size_t n = weights.size();
+  const uint64_t total_w = std::accumulate(weights.begin(), weights.end(),
+                                           uint64_t{0});
+  std::vector<uint32_t> gap(n, 0);
+  std::vector<std::pair<uint64_t, size_t>> frac(n);  // (remainder, index)
+  uint64_t assigned = 0;
+  for (size_t j = 0; j < n; ++j) {
+    // floor(gaps * w / W) with 128-bit-safe math (values are small).
+    const uint64_t num = gaps * weights[j];
+    uint64_t g = num / total_w;
+    if (g > seg_capacity) g = seg_capacity;
+    gap[j] = static_cast<uint32_t>(g);
+    assigned += g;
+    frac[j] = {num % total_w, j};
+  }
+  // Distribute the remainder to the largest fractional parts, skipping
+  // segments already at full-gap.
+  std::sort(frac.begin(), frac.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  size_t fi = 0;
+  while (assigned < gaps) {
+    bool progressed = false;
+    for (fi = 0; fi < n && assigned < gaps; ++fi) {
+      size_t j = frac[fi].second;
+      if (gap[j] < seg_capacity) {
+        ++gap[j];
+        ++assigned;
+        progressed = true;
+      }
+    }
+    CPMA_CHECK_MSG(progressed, "gap allocation cannot converge");
+  }
+  return gap;
+}
+
+}  // namespace
+
+WindowPlan PlanSpread(const Storage& st, size_t seg_begin, size_t seg_end,
+                      bool adaptive, size_t trigger_seg) {
+  WindowPlan plan;
+  plan.seg_begin = seg_begin;
+  plan.seg_end = seg_end;
+  const size_t n = seg_end - seg_begin;
+  const uint32_t B = static_cast<uint32_t>(st.segment_capacity());
+  plan.input_card.resize(n);
+  for (size_t j = 0; j < n; ++j) {
+    plan.input_card[j] = st.card(seg_begin + j);
+    plan.total += plan.input_card[j];
+  }
+  const size_t m = plan.total;
+  plan.target_card.assign(n, 0);
+
+  if (m < n) {
+    // Fewer elements than segments (only possible at minimum capacity):
+    // left-pack one element per segment; empty segments form a suffix,
+    // which keeps the routing table well-defined.
+    for (size_t j = 0; j < m; ++j) plan.target_card[j] = 1;
+    return plan;
+  }
+
+  CPMA_CHECK_MSG(m <= n * size_t{B}, "window overflow");
+  const uint64_t gaps = n * uint64_t{B} - m;
+
+  std::vector<uint64_t> weights(n, 1);
+  if (adaptive) {
+    // Gaps follow predicted insertions: weight = 1 + decayed counter.
+    for (size_t j = 0; j < n; ++j) {
+      weights[j] = 1 + st.insert_count(seg_begin + j);
+    }
+  }
+  std::vector<uint32_t> gap = AllocateGaps(weights, gaps, B);
+  for (size_t j = 0; j < n; ++j) plan.target_card[j] = B - gap[j];
+
+  // Re-establish the ">= 1 element per segment" floor the adaptive
+  // allocation may have violated (a fully-gapped segment would break
+  // routing).
+  for (size_t j = 0; j < n; ++j) {
+    while (plan.target_card[j] < 1) {
+      size_t k = static_cast<size_t>(
+          std::max_element(plan.target_card.begin(), plan.target_card.end()) -
+          plan.target_card.begin());
+      CPMA_CHECK(plan.target_card[k] > 1);
+      --plan.target_card[k];
+      ++plan.target_card[j];
+    }
+  }
+
+  // When the window has at least one gap per segment, make sure every
+  // segment ends with a free slot: after the spread the pending key may
+  // route to *any* window segment (routes move with the elements), so a
+  // full segment anywhere would make the caller's retry loop spin.
+  if (m <= n * size_t{B - 1}) {
+    for (size_t j = 0; j < n; ++j) {
+      while (plan.target_card[j] >= B) {
+        size_t k = static_cast<size_t>(
+            std::min_element(plan.target_card.begin(),
+                             plan.target_card.end()) -
+            plan.target_card.begin());
+        CPMA_CHECK(plan.target_card[k] < B - 1);
+        --plan.target_card[j];
+        ++plan.target_card[k];
+      }
+    }
+  }
+
+  // Guarantee room in the trigger segment for the pending insertion.
+  if (trigger_seg != SIZE_MAX) {
+    CPMA_CHECK(trigger_seg >= seg_begin && trigger_seg < seg_end);
+    const size_t t = trigger_seg - seg_begin;
+    if (plan.target_card[t] >= B) {
+      // Move one element to the emptiest segment.
+      size_t k = static_cast<size_t>(
+          std::min_element(plan.target_card.begin(), plan.target_card.end()) -
+          plan.target_card.begin());
+      CPMA_CHECK_MSG(plan.target_card[k] < B, "window has no free slot");
+      --plan.target_card[t];
+      ++plan.target_card[k];
+    }
+  }
+  return plan;
+}
+
+void CopyPartitionToBuffer(Storage* st, const WindowPlan& plan,
+                           size_t out_begin, size_t out_end) {
+  CPMA_CHECK(out_begin >= plan.seg_begin && out_end <= plan.seg_end);
+  if (out_begin >= out_end) return;
+  const size_t n0 = plan.seg_begin;
+
+  // Rank of the first element this partition outputs.
+  uint64_t rank = 0;
+  for (size_t s = plan.seg_begin; s < out_begin; ++s) {
+    rank += plan.target_card[s - n0];
+  }
+  // Locate that rank in the input layout.
+  size_t in_seg = plan.seg_begin;
+  uint64_t skip = rank;
+  while (in_seg < plan.seg_end && skip >= plan.input_card[in_seg - n0]) {
+    skip -= plan.input_card[in_seg - n0];
+    ++in_seg;
+  }
+  size_t in_pos = static_cast<size_t>(skip);
+
+  for (size_t s = out_begin; s < out_end; ++s) {
+    Item* out = st->buffer_segment(s);
+    const uint32_t want = plan.target_card[s - n0];
+    uint32_t got = 0;
+    while (got < want) {
+      CPMA_CHECK(in_seg < plan.seg_end);
+      const uint32_t avail = plan.input_card[in_seg - n0];
+      if (in_pos >= avail) {
+        ++in_seg;
+        in_pos = 0;
+        continue;
+      }
+      const uint32_t take = std::min<uint32_t>(
+          want - got, avail - static_cast<uint32_t>(in_pos));
+      std::memcpy(out + got, st->segment(in_seg) + in_pos,
+                  take * sizeof(Item));
+      got += take;
+      in_pos += take;
+    }
+  }
+}
+
+namespace {
+
+/// Merge iterator over (window elements, sorted batch ops): yields the
+/// post-merge element stream in key order. Deletions drop elements,
+/// upserts replace or insert.
+class MergeIterator {
+ public:
+  MergeIterator(const Storage& st, size_t seg_begin, size_t seg_end,
+                const std::vector<uint32_t>& input_card,
+                const std::vector<BatchEntry>& ops)
+      : st_(st),
+        seg_begin_(seg_begin),
+        seg_end_(seg_end),
+        input_card_(input_card),
+        ops_(ops) {
+    in_seg_ = seg_begin_;
+    AdvanceInputSegment();
+  }
+
+  /// Returns false when exhausted.
+  bool Next(Item* out) {
+    for (;;) {
+      const bool have_in = in_seg_ < seg_end_;
+      const bool have_op = op_idx_ < ops_.size();
+      if (!have_in && !have_op) return false;
+      if (have_in &&
+          (!have_op || CurrentInputKey() < ops_[op_idx_].key)) {
+        *out = st_.segment(in_seg_)[in_pos_];
+        AdvanceInput();
+        return true;
+      }
+      const BatchEntry& op = ops_[op_idx_];
+      const bool key_present = have_in && CurrentInputKey() == op.key;
+      ++op_idx_;
+      if (key_present) AdvanceInput();  // op supersedes the stored element
+      if (op.is_delete) continue;       // drop (or no-op if absent)
+      *out = {op.key, op.value};
+      return true;
+    }
+  }
+
+ private:
+  Key CurrentInputKey() const { return st_.segment(in_seg_)[in_pos_].key; }
+
+  void AdvanceInput() {
+    ++in_pos_;
+    AdvanceInputSegment();
+  }
+
+  void AdvanceInputSegment() {
+    while (in_seg_ < seg_end_ &&
+           in_pos_ >= input_card_[in_seg_ - seg_begin_]) {
+      ++in_seg_;
+      in_pos_ = 0;
+    }
+  }
+
+  const Storage& st_;
+  size_t seg_begin_, seg_end_;
+  const std::vector<uint32_t>& input_card_;
+  const std::vector<BatchEntry>& ops_;
+  size_t in_seg_ = 0;
+  size_t in_pos_ = 0;
+  size_t op_idx_ = 0;
+};
+
+std::vector<uint32_t> SnapshotCards(const Storage& st, size_t seg_begin,
+                                    size_t seg_end) {
+  std::vector<uint32_t> cards(seg_end - seg_begin);
+  for (size_t s = seg_begin; s < seg_end; ++s) {
+    cards[s - seg_begin] = st.card(s);
+  }
+  return cards;
+}
+
+}  // namespace
+
+size_t CountMerged(const Storage& st, size_t seg_begin, size_t seg_end,
+                   const std::vector<BatchEntry>& ops, size_t* inserted_new,
+                   size_t* deleted_found) {
+  size_t existing = 0;
+  for (size_t s = seg_begin; s < seg_end; ++s) existing += st.card(s);
+  // Walk ops against the window to classify each one.
+  size_t ins = 0, del = 0;
+  size_t in_seg = seg_begin, in_pos = 0;
+  auto skip_to = [&](Key key) {
+    // Advance the input cursor to the first element with key >= key.
+    for (;;) {
+      while (in_seg < seg_end && in_pos >= st.card(in_seg)) {
+        ++in_seg;
+        in_pos = 0;
+      }
+      if (in_seg >= seg_end) return false;
+      if (st.segment(in_seg)[in_pos].key >= key) return true;
+      ++in_pos;
+    }
+  };
+  for (const BatchEntry& op : ops) {
+    const bool present =
+        skip_to(op.key) && st.segment(in_seg)[in_pos].key == op.key;
+    if (op.is_delete) {
+      if (present) ++del;
+    } else if (!present) {
+      ++ins;
+    }
+  }
+  if (inserted_new != nullptr) *inserted_new = ins;
+  if (deleted_found != nullptr) *deleted_found = del;
+  return existing + ins - del;
+}
+
+WindowPlan PlanMergedSpread(const Storage& st, size_t seg_begin,
+                            size_t seg_end, size_t merged_total) {
+  WindowPlan plan;
+  plan.seg_begin = seg_begin;
+  plan.seg_end = seg_end;
+  plan.total = merged_total;
+  plan.input_card = SnapshotCards(st, seg_begin, seg_end);
+  const size_t n = seg_end - seg_begin;
+  const uint32_t B = static_cast<uint32_t>(st.segment_capacity());
+  plan.target_card.assign(n, 0);
+  const size_t m = merged_total;
+  if (m < n) {
+    for (size_t j = 0; j < m; ++j) plan.target_card[j] = 1;
+    return plan;
+  }
+  CPMA_CHECK_MSG(m <= n * size_t{B}, "merged batch overflows window");
+  for (size_t j = 0; j < n; ++j) {
+    plan.target_card[j] = static_cast<uint32_t>(m / n + (j < m % n ? 1 : 0));
+  }
+  return plan;
+}
+
+void MergedCopyToBuffer(Storage* st, const WindowPlan& plan,
+                        const std::vector<BatchEntry>& ops) {
+  MergeIterator it(*st, plan.seg_begin, plan.seg_end, plan.input_card, ops);
+  size_t written = 0;
+  for (size_t s = plan.seg_begin; s < plan.seg_end; ++s) {
+    Item* out = st->buffer_segment(s);
+    const uint32_t want = plan.target_card[s - plan.seg_begin];
+    for (uint32_t i = 0; i < want; ++i) {
+      CPMA_CHECK_MSG(it.Next(&out[i]), "merge stream shorter than plan");
+      ++written;
+    }
+  }
+  CPMA_CHECK(written == plan.total);
+  Item sink;
+  CPMA_CHECK_MSG(!it.Next(&sink), "merge stream longer than plan");
+}
+
+void MergedStreamInto(const Storage& old_st,
+                      const std::vector<BatchEntry>& ops, size_t merged_total,
+                      Storage* fresh) {
+  const size_t n = fresh->num_segments();
+  const size_t m = merged_total;
+  std::vector<uint32_t> target(n, 0);
+  if (m < n) {
+    for (size_t j = 0; j < m; ++j) target[j] = 1;
+  } else {
+    CPMA_CHECK(m <= n * fresh->segment_capacity());
+    for (size_t j = 0; j < n; ++j) {
+      target[j] = static_cast<uint32_t>(m / n + (j < m % n ? 1 : 0));
+    }
+  }
+  std::vector<uint32_t> cards =
+      SnapshotCards(old_st, 0, old_st.num_segments());
+  MergeIterator it(old_st, 0, old_st.num_segments(), cards, ops);
+  size_t written = 0;
+  for (size_t s = 0; s < n; ++s) {
+    Item* out = fresh->segment(s);
+    for (uint32_t i = 0; i < target[s]; ++i) {
+      CPMA_CHECK_MSG(it.Next(&out[i]), "resize merge shorter than expected");
+      ++written;
+    }
+    fresh->set_card(s, target[s]);
+  }
+  CPMA_CHECK(written == merged_total);
+  Item sink;
+  CPMA_CHECK_MSG(!it.Next(&sink), "resize merge longer than expected");
+  fresh->RebuildRoutes(0, n);
+}
+
+void FinishSpread(Storage* st, const WindowPlan& plan, bool swap) {
+  if (swap) st->SwapWindow(plan.seg_begin, plan.seg_end);
+  const size_t n0 = plan.seg_begin;
+  for (size_t s = plan.seg_begin; s < plan.seg_end; ++s) {
+    st->set_card(s, plan.target_card[s - n0]);
+    // Decay the insertion predictor so stale skew fades (Bender & Hu use
+    // an exponentially decayed marker; halving per rebalance matches).
+    st->set_insert_count(s, st->insert_count(s) / 2);
+  }
+  st->RebuildRoutes(plan.seg_begin, plan.seg_end);
+}
+
+}  // namespace cpma

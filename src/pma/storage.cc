@@ -1,0 +1,57 @@
+#include "pma/storage.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cpma {
+
+Storage::Storage(size_t num_segments, size_t segment_capacity,
+                 bool use_rewiring)
+    : num_segments_(num_segments), segment_capacity_(segment_capacity) {
+  CPMA_CHECK(num_segments >= 1);
+  CPMA_CHECK(segment_capacity >= 4);
+  const size_t bytes = capacity() * sizeof(Item);
+  region_ = RewiredRegion::Create(bytes, bytes);
+  // With use_rewiring == false, SwapWindow always takes the memcpy path,
+  // which lets benchmarks compare rewired vs copy-based rebalancing.
+  force_copy_ = !use_rewiring;
+  items_ = reinterpret_cast<Item*>(region_->data());
+  buffer_ = reinterpret_cast<Item*>(region_->buffer());
+  card_.assign(num_segments_, 0);
+  route_.assign(num_segments_, kKeySentinel);
+  route_[0] = kKeyMin;
+  inserts_.assign(num_segments_, 0);
+}
+
+size_t Storage::RouteSegment(Key key) const {
+  // upper_bound returns the first route > key; the target segment is the
+  // one before it. route_[0] == kKeyMin <= key always, so idx >= 1.
+  auto it = std::upper_bound(route_.begin(), route_.end(), key);
+  return static_cast<size_t>(it - route_.begin()) - 1;
+}
+
+void Storage::SwapWindow(size_t seg_begin, size_t seg_end) {
+  CPMA_CHECK(seg_begin < seg_end && seg_end <= num_segments_);
+  const size_t off = seg_begin * segment_bytes();
+  const size_t len = (seg_end - seg_begin) * segment_bytes();
+  if (!force_copy_ && region_->CanSwap(off, off, len)) {
+    region_->SwapPages(off, off, len);
+  } else {
+    std::memcpy(reinterpret_cast<char*>(items_) + off,
+                reinterpret_cast<char*>(buffer_) + off, len);
+  }
+}
+
+void Storage::RebuildRoutes(size_t seg_begin, size_t seg_end) {
+  for (size_t s = seg_begin; s < seg_end; ++s) {
+    if (s == 0) {
+      route_[0] = kKeyMin;
+    } else if (card_[s] > 0) {
+      route_[s] = segment(s)[0].key;
+    } else {
+      route_[s] = kKeySentinel;
+    }
+  }
+}
+
+}  // namespace cpma

@@ -1,0 +1,88 @@
+// Physical storage of a packed memory array.
+//
+// Layout: one contiguous (rewirable) region of num_segments * B items.
+// Elements inside a segment are left-packed and sorted; gaps occupy the
+// tail of each segment. Per-segment metadata lives in dense side arrays:
+//
+//  - card[s]:   number of live elements in segment s
+//  - route[s]:  routing key — the minimum key of segment s when card > 0,
+//               kKeyMin for segment 0, kKeySentinel for (suffix) empty
+//               segments. Strictly non-decreasing; an upper-bound search
+//               over route[] yields the unique segment that may contain a
+//               key. Empty segments can only form a suffix and only when
+//               the total cardinality is below the number of segments.
+//  - inserts[s]: decayed insertion counter driving adaptive rebalancing.
+//
+// The region owns an equally sized buffer. Rebalances write the new
+// layout into the buffer and publish it with SwapWindow(), which rewires
+// page mappings when alignment permits and falls back to one memcpy
+// otherwise (see rewiring/rewiring.h).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pma/item.h"
+#include "rewiring/rewiring.h"
+
+namespace cpma {
+
+class Storage {
+ public:
+  Storage(size_t num_segments, size_t segment_capacity, bool use_rewiring);
+
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  size_t num_segments() const { return num_segments_; }
+  size_t segment_capacity() const { return segment_capacity_; }
+  size_t capacity() const { return num_segments_ * segment_capacity_; }
+
+  Item* segment(size_t s) { return items_ + s * segment_capacity_; }
+  const Item* segment(size_t s) const { return items_ + s * segment_capacity_; }
+  Item* buffer_segment(size_t s) { return buffer_ + s * segment_capacity_; }
+
+  uint32_t card(size_t s) const { return card_[s]; }
+  void set_card(size_t s, uint32_t c) { card_[s] = c; }
+
+  Key route(size_t s) const { return route_[s]; }
+  void set_route(size_t s, Key k) { route_[s] = k; }
+  const std::vector<Key>& routes() const { return route_; }
+
+  uint32_t insert_count(size_t s) const { return inserts_[s]; }
+  void bump_insert_count(size_t s) { ++inserts_[s]; }
+  void set_insert_count(size_t s, uint32_t c) { inserts_[s] = c; }
+
+  /// Rightmost segment whose routing key is <= key. Always a valid,
+  /// non-empty segment (or segment 0 when the array is empty).
+  size_t RouteSegment(Key key) const;
+
+  /// Publish buffer[seg_begin, seg_end) into the live region (rewire or
+  /// copy). Segment-granular; see class comment.
+  void SwapWindow(size_t seg_begin, size_t seg_end);
+
+  /// Recompute route[] entries for segments in [seg_begin, seg_end) from
+  /// the live data (used after rebalances).
+  void RebuildRoutes(size_t seg_begin, size_t seg_end);
+
+  bool rewiring_enabled() const { return region_->rewiring_enabled(); }
+  uint64_t num_remaps() const { return region_->num_remaps(); }
+
+  /// Total bytes of one segment.
+  size_t segment_bytes() const { return segment_capacity_ * sizeof(Item); }
+
+ private:
+  size_t num_segments_;
+  size_t segment_capacity_;
+  std::unique_ptr<RewiredRegion> region_;
+  Item* items_;
+  Item* buffer_;
+  std::vector<uint32_t> card_;
+  std::vector<Key> route_;
+  std::vector<uint32_t> inserts_;
+  bool force_copy_ = false;
+};
+
+}  // namespace cpma

@@ -1,0 +1,165 @@
+#include "rewiring/rewiring.h"
+
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace cpma {
+
+namespace {
+
+size_t RoundUp(size_t x, size_t align) {
+  return (x + align - 1) / align * align;
+}
+
+#if defined(__linux__)
+int CreateMemFd(size_t bytes) {
+#if defined(SYS_memfd_create)
+  int fd = static_cast<int>(syscall(SYS_memfd_create, "cpma_rewire", 0u));
+  if (fd < 0) return -1;
+  if (ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+#else
+  (void)bytes;
+  return -1;
+#endif
+}
+#endif  // __linux__
+
+}  // namespace
+
+std::unique_ptr<RewiredRegion> RewiredRegion::Create(size_t region_bytes,
+                                                     size_t buffer_bytes,
+                                                     bool want_huge_pages) {
+  auto r = std::unique_ptr<RewiredRegion>(new RewiredRegion());
+#if defined(__linux__)
+  r->page_size_ = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+#endif
+  r->region_bytes_ = RoundUp(region_bytes, r->page_size_);
+  r->buffer_bytes_ = RoundUp(buffer_bytes, r->page_size_);
+  const size_t total = r->region_bytes_ + r->buffer_bytes_;
+
+#if defined(__linux__)
+  r->fd_ = CreateMemFd(total);
+  if (r->fd_ >= 0) {
+    void* region = mmap(nullptr, r->region_bytes_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED, r->fd_, 0);
+    void* buffer =
+        mmap(nullptr, r->buffer_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED,
+             r->fd_, static_cast<off_t>(r->region_bytes_));
+    if (region == MAP_FAILED || buffer == MAP_FAILED) {
+      if (region != MAP_FAILED) munmap(region, r->region_bytes_);
+      if (buffer != MAP_FAILED) munmap(buffer, r->buffer_bytes_);
+      close(r->fd_);
+      r->fd_ = -1;
+    } else {
+      r->region_ = static_cast<char*>(region);
+      r->buffer_ = static_cast<char*>(buffer);
+#if defined(MADV_HUGEPAGE)
+      if (want_huge_pages) {
+        // Best effort; memfd-backed maps usually stay on 4K pages unless
+        // the kernel enables THP for shmem, but asking is free.
+        madvise(region, r->region_bytes_, MADV_HUGEPAGE);
+        madvise(buffer, r->buffer_bytes_, MADV_HUGEPAGE);
+      }
+#endif
+      const size_t region_pages = r->region_bytes_ / r->page_size_;
+      const size_t buffer_pages = r->buffer_bytes_ / r->page_size_;
+      r->region_backing_.resize(region_pages);
+      r->buffer_backing_.resize(buffer_pages);
+      for (size_t i = 0; i < region_pages; ++i) r->region_backing_[i] = i;
+      for (size_t i = 0; i < buffer_pages; ++i) {
+        r->buffer_backing_[i] = region_pages + i;
+      }
+      return r;
+    }
+  }
+#endif  // __linux__
+
+  // Fallback: plain allocation, SwapPages copies.
+  (void)want_huge_pages;
+  r->region_ = static_cast<char*>(::operator new(r->region_bytes_));
+  r->buffer_ = static_cast<char*>(::operator new(r->buffer_bytes_));
+  std::memset(r->region_, 0, r->region_bytes_);
+  std::memset(r->buffer_, 0, r->buffer_bytes_);
+  return r;
+}
+
+RewiredRegion::~RewiredRegion() {
+#if defined(__linux__)
+  if (fd_ >= 0) {
+    munmap(region_, region_bytes_);
+    munmap(buffer_, buffer_bytes_);
+    close(fd_);
+    return;
+  }
+#endif
+  ::operator delete(region_);
+  ::operator delete(buffer_);
+}
+
+bool RewiredRegion::CanSwap(size_t region_offset, size_t buffer_offset,
+                            size_t len) const {
+  if (len == 0) return false;
+  if (region_offset % page_size_ != 0 || buffer_offset % page_size_ != 0 ||
+      len % page_size_ != 0) {
+    return false;
+  }
+  return region_offset + len <= region_bytes_ &&
+         buffer_offset + len <= buffer_bytes_;
+}
+
+void RewiredRegion::SwapPages(size_t region_offset, size_t buffer_offset,
+                              size_t len) {
+  CPMA_CHECK(CanSwap(region_offset, buffer_offset, len));
+
+#if defined(__linux__)
+  if (fd_ >= 0) {
+    const size_t pages = len / page_size_;
+    const size_t r0 = region_offset / page_size_;
+    const size_t b0 = buffer_offset / page_size_;
+    // Swap the backing tables, then remap contiguous runs with single
+    // mmap calls (runs are long right after creation; they fragment as
+    // swaps accumulate, which is the realistic rewiring behaviour).
+    for (size_t i = 0; i < pages; ++i) {
+      std::swap(region_backing_[r0 + i], buffer_backing_[b0 + i]);
+    }
+    auto remap = [&](char* base, size_t first_page,
+                     const std::vector<size_t>& backing, size_t lo) {
+      size_t i = 0;
+      while (i < pages) {
+        size_t run = 1;
+        while (i + run < pages &&
+               backing[lo + i + run] == backing[lo + i] + run) {
+          ++run;
+        }
+        void* addr = base + (first_page + i) * page_size_;
+        void* res =
+            mmap(addr, run * page_size_, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_FIXED, fd_,
+                 static_cast<off_t>(backing[lo + i] * page_size_));
+        CPMA_CHECK_MSG(res == addr, "mmap(MAP_FIXED) failed during rewiring");
+        num_remaps_.fetch_add(1, std::memory_order_relaxed);
+        i += run;
+      }
+    };
+    remap(region_, r0, region_backing_, r0);
+    remap(buffer_, b0, buffer_backing_, b0);
+    return;
+  }
+#endif
+
+  // Fallback: single copy buffer -> region (callers stage data in the
+  // buffer; this is the classical two-copies rebalance, second copy here).
+  std::memcpy(region_ + region_offset, buffer_ + buffer_offset, len);
+  num_remaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace cpma

@@ -1,0 +1,90 @@
+// Memory rewiring (Schuhknecht et al., "RUMA has it", PVLDB'16; paper §2).
+//
+// A RewiredRegion is a contiguous virtual address range whose pages are
+// individually backed by pages of an in-memory file (memfd). A second
+// virtual range — the buffer — is backed by spare pages of the same file.
+// Rebalance workers copy elements into the buffer once, then SwapPages()
+// exchanges the *mappings*, so the copied data appears in the array
+// without a second copy, and the array's old physical pages become the
+// next buffer (exactly the protocol in the paper).
+//
+// When memfd/mmap are unavailable (restricted sandbox), the region
+// degrades to plain allocation and SwapPages() performs the second copy;
+// rewiring_enabled() reports which mode is active so benchmarks can
+// label results.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cpma {
+
+class RewiredRegion {
+ public:
+  /// Create a region of `region_bytes` plus a buffer of `buffer_bytes`;
+  /// both are rounded up to whole pages. `want_huge_pages` requests
+  /// transparent huge pages via madvise (best effort).
+  static std::unique_ptr<RewiredRegion> Create(size_t region_bytes,
+                                               size_t buffer_bytes,
+                                               bool want_huge_pages = true);
+
+  ~RewiredRegion();
+
+  RewiredRegion(const RewiredRegion&) = delete;
+  RewiredRegion& operator=(const RewiredRegion&) = delete;
+
+  char* data() { return region_; }
+  const char* data() const { return region_; }
+  char* buffer() { return buffer_; }
+
+  size_t region_bytes() const { return region_bytes_; }
+  size_t buffer_bytes() const { return buffer_bytes_; }
+  size_t page_size() const { return page_size_; }
+
+  /// True when real mmap-based rewiring is active (as opposed to the
+  /// memcpy fallback).
+  bool rewiring_enabled() const { return fd_ >= 0; }
+
+  /// True iff the given byte range can be swapped by remapping (both
+  /// offsets and the length are page aligned and in range).
+  bool CanSwap(size_t region_offset, size_t buffer_offset, size_t len) const;
+
+  /// Exchange the backing of region[region_offset, +len) with
+  /// buffer[buffer_offset, +len). Page aligned ranges only (CanSwap).
+  /// Postcondition: the region range contains what the buffer range
+  /// contained. In rewired mode the exchange is bidirectional (old array
+  /// pages become buffer); in fallback mode the buffer content is copied
+  /// and the buffer range keeps a stale copy.
+  void SwapPages(size_t region_offset, size_t buffer_offset, size_t len);
+
+  /// Number of mmap invocations performed so far (observability for
+  /// tests and the micro benchmark).
+  uint64_t num_remaps() const {
+    return num_remaps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  RewiredRegion() = default;
+
+  char* region_ = nullptr;
+  char* buffer_ = nullptr;
+  size_t region_bytes_ = 0;
+  size_t buffer_bytes_ = 0;
+  size_t page_size_ = 4096;
+  int fd_ = -1;  // memfd; -1 => fallback mode
+
+  // Physical (file) page index backing each virtual page.
+  std::vector<size_t> region_backing_;
+  std::vector<size_t> buffer_backing_;
+
+  // Atomic: parallel rebalance workers swap disjoint partitions.
+  std::atomic<uint64_t> num_remaps_{0};
+};
+
+}  // namespace cpma

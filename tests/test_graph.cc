@@ -1,0 +1,173 @@
+// Tests for the dynamic CRS graph (§6): edge semantics, neighbour scans,
+// analytics correctness on known topologies, and consistency under
+// concurrent edge churn + analytics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/random.h"
+#include "graph/algorithms.h"
+#include "graph/dynamic_graph.h"
+
+namespace cpma {
+namespace {
+
+TEST(DynamicGraph, EdgeBasics) {
+  DynamicGraph g;
+  g.AddEdge(1, 2, 10);
+  g.AddEdge(1, 3, 20);
+  g.AddEdge(2, 3, 30);
+  g.Flush();
+  Value w = 0;
+  EXPECT_TRUE(g.HasEdge(1, 2, &w));
+  EXPECT_EQ(w, 10u);
+  EXPECT_FALSE(g.HasEdge(2, 1, nullptr));
+  EXPECT_EQ(g.NumEdges(), 3u);
+  g.RemoveEdge(1, 2);
+  g.Flush();
+  EXPECT_FALSE(g.HasEdge(1, 2, nullptr));
+  EXPECT_EQ(g.NumEdges(), 2u);
+  // Re-weight.
+  g.AddEdge(2, 3, 99);
+  g.Flush();
+  EXPECT_TRUE(g.HasEdge(2, 3, &w));
+  EXPECT_EQ(w, 99u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(DynamicGraph, NeighborsSortedAndBounded) {
+  DynamicGraph g;
+  g.AddEdge(5, 9);
+  g.AddEdge(5, 1);
+  g.AddEdge(5, 4);
+  g.AddEdge(4, 7);  // different source: must not appear
+  g.AddEdge(6, 0);
+  g.Flush();
+  std::vector<VertexId> ns;
+  g.ForEachNeighbor(5, [&](VertexId v, Value) {
+    ns.push_back(v);
+    return true;
+  });
+  ASSERT_EQ(ns.size(), 3u);
+  EXPECT_EQ(ns[0], 1u);
+  EXPECT_EQ(ns[1], 4u);
+  EXPECT_EQ(ns[2], 9u);
+  EXPECT_EQ(g.OutDegree(5), 3u);
+  EXPECT_EQ(g.OutDegree(42), 0u);
+}
+
+TEST(DynamicGraph, EdgeKeyBoundaries) {
+  DynamicGraph g;
+  g.AddEdge(0, 0);
+  g.AddEdge(0, UINT32_MAX);
+  g.AddEdge(1, 0);
+  g.Flush();
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+}
+
+TEST(Bfs, PathGraphDistances) {
+  DynamicGraph g;
+  for (VertexId v = 0; v < 100; ++v) g.AddEdge(v, v + 1);
+  g.Flush();
+  auto dist = Bfs(g, 0);
+  for (VertexId v = 0; v <= 100; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Bfs, DisconnectedIsUnreachable) {
+  DynamicGraph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  g.Flush();
+  auto dist = Bfs(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Bfs, StarGraph) {
+  DynamicGraph g;
+  for (VertexId v = 1; v <= 50; ++v) g.AddEdge(0, v);
+  g.Flush();
+  auto dist = Bfs(g, 0);
+  for (VertexId v = 1; v <= 50; ++v) EXPECT_EQ(dist[v], 1u);
+}
+
+TEST(PageRank, SumsToOneAndOrdersHubs) {
+  DynamicGraph g;
+  // Vertex 0 is pointed at by everyone; 0 points at 1.
+  for (VertexId v = 1; v <= 20; ++v) g.AddEdge(v, 0);
+  g.AddEdge(0, 1);
+  g.Flush();
+  auto pr = PageRank(g, 30);
+  double sum = 0;
+  for (double r : pr) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  for (VertexId v = 2; v <= 20; ++v) {
+    EXPECT_GT(pr[0], pr[v]) << "the hub must out-rank leaves";
+  }
+  EXPECT_GT(pr[1], pr[2]) << "0's sole target inherits rank";
+}
+
+TEST(ConnectedComponents, TwoIslands) {
+  DynamicGraph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(10, 11);
+  g.Flush();
+  auto label = ConnectedComponents(g);
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_EQ(label[1], label[2]);
+  EXPECT_EQ(label[10], label[11]);
+  EXPECT_NE(label[0], label[10]);
+}
+
+TEST(DynamicGraph, ConcurrentChurnWithAnalytics) {
+  DynamicGraph g;
+  // Stable backbone path 0..200 that churn never touches.
+  for (VertexId v = 0; v < 200; ++v) g.AddEdge(v, v + 1);
+  g.Flush();
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::thread analytics([&] {
+    while (!stop.load()) {
+      auto dist = Bfs(g, 0);
+      // The backbone must always be reachable with exact distances.
+      for (VertexId v = 0; v <= 200; v += 40) {
+        if (dist[v] != v) {
+          failed.store(true);
+          return;
+        }
+      }
+    }
+  });
+  std::vector<std::thread> updaters;
+  for (int t = 0; t < 4; ++t) {
+    updaters.emplace_back([&, t] {
+      Random rng(t);
+      for (int i = 0; i < 20000; ++i) {
+        // Churn edges among vertices 1000+ (disjoint from the backbone).
+        VertexId s = 1000 + static_cast<VertexId>(rng.NextBounded(500));
+        VertexId d = 1000 + static_cast<VertexId>(rng.NextBounded(500));
+        if (rng.NextBounded(2) == 0) {
+          g.AddEdge(s, d);
+        } else {
+          g.RemoveEdge(s, d);
+        }
+      }
+    });
+  }
+  for (auto& t : updaters) t.join();
+  stop.store(true);
+  analytics.join();
+  g.Flush();
+  EXPECT_FALSE(failed.load());
+  std::string err;
+  EXPECT_TRUE(g.edges().CheckInvariants(&err)) << err;
+}
+
+}  // namespace
+}  // namespace cpma

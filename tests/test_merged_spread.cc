@@ -1,0 +1,197 @@
+// Direct unit tests for the batch-merge spread machinery (paper §3.5):
+// CountMerged, PlanMergedSpread, MergedCopyToBuffer, MergedStreamInto
+// and CanonicalizeBatch — the code paths the rebalancer uses to fold
+// combining queues into window rebalances and resizes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "concurrent/rebalancer.h"
+#include "pma/spread.h"
+#include "pma/storage.h"
+
+namespace cpma {
+namespace {
+
+// Fill segments with keys 10, 20, 30, ... continuing across segments.
+void FillStorage(Storage* st, const std::vector<uint32_t>& cards) {
+  Key k = 10;
+  for (size_t s = 0; s < cards.size(); ++s) {
+    for (uint32_t i = 0; i < cards[s]; ++i) {
+      st->segment(s)[i] = {k, k * 2};
+      k += 10;
+    }
+    st->set_card(s, cards[s]);
+  }
+  st->RebuildRoutes(0, cards.size());
+}
+
+std::vector<Item> Dump(const Storage& st) {
+  std::vector<Item> out;
+  for (size_t s = 0; s < st.num_segments(); ++s) {
+    for (uint32_t i = 0; i < st.card(s); ++i) {
+      out.push_back(st.segment(s)[i]);
+    }
+  }
+  return out;
+}
+
+TEST(CanonicalizeBatch, LastOpPerKeyWins) {
+  std::deque<GateOp> q;
+  q.push_back({GateOp::Type::kInsert, 5, 100});
+  q.push_back({GateOp::Type::kInsert, 3, 1});
+  q.push_back({GateOp::Type::kRemove, 5, 0});
+  q.push_back({GateOp::Type::kInsert, 5, 200});
+  q.push_back({GateOp::Type::kRemove, 3, 0});
+  auto batch = CanonicalizeBatch(q);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].key, 3u);
+  EXPECT_TRUE(batch[0].is_delete);
+  EXPECT_EQ(batch[1].key, 5u);
+  EXPECT_FALSE(batch[1].is_delete);
+  EXPECT_EQ(batch[1].value, 200u);
+}
+
+TEST(CountMerged, ClassifiesInsertsUpsertsDeletes) {
+  Storage st(4, 8, true);
+  FillStorage(&st, {4, 4, 0, 0});  // keys 10..80
+  std::vector<BatchEntry> ops = {
+      {15, 1, false},   // new insert
+      {20, 9, false},   // upsert (key exists)
+      {30, 0, true},    // delete existing
+      {99, 0, true},    // delete absent: no-op
+      {100, 5, false},  // new insert
+  };
+  size_t ins = 0, del = 0;
+  size_t total = CountMerged(st, 0, 4, ops, &ins, &del);
+  EXPECT_EQ(ins, 2u);
+  EXPECT_EQ(del, 1u);
+  EXPECT_EQ(total, 8u + 2u - 1u);
+}
+
+TEST(MergedCopy, ProducesSortedMergedContent) {
+  Storage st(4, 8, true);
+  FillStorage(&st, {4, 4, 0, 0});
+  std::vector<BatchEntry> ops = {
+      {15, 1, false}, {20, 9, false}, {30, 0, true}, {100, 5, false}};
+  size_t ins = 0, del = 0;
+  const size_t total = CountMerged(st, 0, 4, ops, &ins, &del);
+  WindowPlan plan = PlanMergedSpread(st, 0, 4, total);
+  MergedCopyToBuffer(&st, plan, ops);
+  FinishSpread(&st, plan);
+
+  std::map<Key, Value> expect = {{10, 20}, {15, 1},  {20, 9},  {40, 80},
+                                 {50, 100}, {60, 120}, {70, 140},
+                                 {80, 160}, {100, 5}};
+  auto got = Dump(st);
+  ASSERT_EQ(got.size(), expect.size());
+  auto it = expect.begin();
+  for (size_t i = 0; i < got.size(); ++i, ++it) {
+    EXPECT_EQ(got[i].key, it->first);
+    EXPECT_EQ(got[i].value, it->second);
+  }
+  // Targets even (traditional policy) and routes rebuilt.
+  for (size_t s = 0; s + 1 < 4; ++s) {
+    EXPECT_LE(st.card(s + 1) > 0 ? st.card(s) - st.card(s + 1) : 0, 1u);
+  }
+}
+
+TEST(MergedCopy, DeleteEverything) {
+  Storage st(2, 8, true);
+  FillStorage(&st, {4, 4});
+  std::vector<BatchEntry> ops;
+  for (Key k = 10; k <= 80; k += 10) ops.push_back({k, 0, true});
+  size_t ins = 0, del = 0;
+  const size_t total = CountMerged(st, 0, 2, ops, &ins, &del);
+  EXPECT_EQ(total, 0u);
+  EXPECT_EQ(del, 8u);
+  WindowPlan plan = PlanMergedSpread(st, 0, 2, total);
+  MergedCopyToBuffer(&st, plan, ops);
+  FinishSpread(&st, plan);
+  EXPECT_TRUE(Dump(st).empty());
+  EXPECT_EQ(st.route(1), kKeySentinel);
+}
+
+TEST(MergedStream, ResizeMergesIntoFreshStorage) {
+  Storage old_st(2, 8, true);
+  FillStorage(&old_st, {6, 6});  // keys 10..120
+  std::vector<BatchEntry> ops = {
+      {5, 55, false}, {60, 0, true}, {125, 7, false}};
+  size_t ins = 0, del = 0;
+  const size_t total =
+      CountMerged(old_st, 0, 2, ops, &ins, &del);
+  EXPECT_EQ(total, 12u + 2u - 1u);
+  Storage fresh(4, 8, true);
+  MergedStreamInto(old_st, ops, total, &fresh);
+  auto got = Dump(fresh);
+  ASSERT_EQ(got.size(), total);
+  EXPECT_EQ(got.front().key, 5u);
+  EXPECT_EQ(got.back().key, 125u);
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LT(got[i - 1].key, got[i].key);
+    EXPECT_NE(got[i].key, 60u);
+  }
+  // Fresh cards even and routes consistent.
+  std::string unused;
+  for (size_t s = 1; s < 4; ++s) {
+    if (fresh.card(s) > 0) {
+      EXPECT_EQ(fresh.route(s), fresh.segment(s)[0].key);
+    }
+  }
+}
+
+TEST(MergedStream, RandomisedAgainstStdMap) {
+  Random rng(7);
+  for (int round = 0; round < 50; ++round) {
+    const size_t segs = 4;
+    const uint32_t B = 16;
+    Storage st(segs, B, true);
+    std::map<Key, Value> oracle;
+    // Random initial content (sorted, strided keys).
+    Key k = 1;
+    for (size_t s = 0; s < segs; ++s) {
+      const uint32_t c = static_cast<uint32_t>(rng.NextBounded(B - 2));
+      for (uint32_t i = 0; i < c; ++i) {
+        st.segment(s)[i] = {k, k};
+        oracle[k] = k;
+        k += 1 + rng.NextBounded(5);
+      }
+      st.set_card(s, c);
+    }
+    st.RebuildRoutes(0, segs);
+    // Random batch over a slightly larger key domain.
+    std::map<Key, BatchEntry> batch_map;
+    const int nops = static_cast<int>(rng.NextBounded(20));
+    for (int i = 0; i < nops; ++i) {
+      const Key bk = 1 + rng.NextBounded(k + 10);
+      const bool is_del = rng.NextBounded(3) == 0;
+      batch_map[bk] = {bk, bk * 3, is_del};
+      if (is_del) {
+        oracle.erase(bk);
+      } else {
+        oracle[bk] = bk * 3;
+      }
+    }
+    std::vector<BatchEntry> ops;
+    for (auto& [kk, e] : batch_map) ops.push_back(e);
+    size_t ins = 0, del = 0;
+    const size_t total = CountMerged(st, 0, segs, ops, &ins, &del);
+    ASSERT_EQ(total, oracle.size()) << "round " << round;
+    if (total > segs * B) continue;  // would not fit: resize territory
+    WindowPlan plan = PlanMergedSpread(st, 0, segs, total);
+    MergedCopyToBuffer(&st, plan, ops);
+    FinishSpread(&st, plan);
+    auto got = Dump(st);
+    ASSERT_EQ(got.size(), oracle.size()) << "round " << round;
+    auto it = oracle.begin();
+    for (size_t i = 0; i < got.size(); ++i, ++it) {
+      ASSERT_EQ(got[i].key, it->first) << "round " << round;
+      ASSERT_EQ(got[i].value, it->second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpma

@@ -1,0 +1,122 @@
+// Tests for the pointer-free static index: layout, lookup, O(1)-style
+// separator updates, and latch-free traversal under concurrent updates.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "concurrent/static_index.h"
+
+namespace cpma {
+namespace {
+
+TEST(StaticIndex, SingleGateAlwaysZero) {
+  StaticIndex idx(1, 16);
+  EXPECT_EQ(idx.Lookup(0), 0u);
+  EXPECT_EQ(idx.Lookup(12345), 0u);
+  EXPECT_EQ(idx.Lookup(kKeyMax), 0u);
+}
+
+TEST(StaticIndex, InitialSeparatorsRouteToGateZero) {
+  StaticIndex idx(64, 8);
+  EXPECT_EQ(idx.Lookup(42), 0u);
+}
+
+TEST(StaticIndex, LookupMatchesLinearScan) {
+  const size_t kGates = 100;
+  StaticIndex idx(kGates, 4);
+  std::vector<Key> seps(kGates);
+  for (size_t g = 0; g < kGates; ++g) {
+    seps[g] = g == 0 ? kKeyMin : g * 1000;
+    idx.SetSeparator(g, seps[g]);
+  }
+  for (Key key : std::vector<Key>{0, 1, 999, 1000, 1001, 54321, 99000,
+                                  99999, 1u << 30}) {
+    size_t expect = 0;
+    for (size_t g = 0; g < kGates; ++g) {
+      if (seps[g] <= key) expect = g;
+    }
+    EXPECT_EQ(idx.Lookup(key), expect) << "key " << key;
+  }
+}
+
+TEST(StaticIndex, ExhaustiveAgainstLinearScanManyShapes) {
+  for (size_t gates : {1u, 2u, 3u, 7u, 16u, 17u, 64u, 129u}) {
+    for (size_t fanout : {2u, 3u, 8u, 16u}) {
+      StaticIndex idx(gates, fanout);
+      std::vector<Key> seps(gates);
+      for (size_t g = 0; g < gates; ++g) {
+        seps[g] = g == 0 ? kKeyMin : 10 * g + 5;
+        idx.SetSeparator(g, seps[g]);
+      }
+      for (Key key = 0; key < 10 * gates + 20; ++key) {
+        size_t expect = 0;
+        for (size_t g = 0; g < gates; ++g) {
+          if (seps[g] <= key) expect = g;
+        }
+        ASSERT_EQ(idx.Lookup(key), expect)
+            << "gates=" << gates << " fanout=" << fanout << " key=" << key;
+      }
+    }
+  }
+}
+
+TEST(StaticIndex, SeparatorUpdatePropagatesUpward) {
+  // Gate index divisible by fanout^2 must update two upper levels.
+  StaticIndex idx(256, 4);
+  for (size_t g = 0; g < 256; ++g) {
+    idx.SetSeparator(g, g == 0 ? kKeyMin : g * 10);
+  }
+  // Move gate 16's separator (16 = fanout^2) and check lookups route
+  // around the new value correctly.
+  idx.SetSeparator(16, 155);
+  EXPECT_EQ(idx.Lookup(154), 15u);
+  EXPECT_EQ(idx.Lookup(155), 16u);
+  EXPECT_EQ(idx.Lookup(169), 16u);
+  EXPECT_EQ(idx.Lookup(170), 17u);
+}
+
+TEST(StaticIndex, NumLevelsLogarithmic) {
+  StaticIndex idx(4096, 16);
+  // 4096 -> 256 -> 16 -> 1: 4 levels.
+  EXPECT_EQ(idx.num_levels(), 4u);
+  StaticIndex idx2(1, 16);
+  EXPECT_EQ(idx2.num_levels(), 1u);
+}
+
+TEST(StaticIndex, ConcurrentReadersNeverCrashAndLandInRange) {
+  // Readers traverse while a writer permutes separators; results may be
+  // stale but must always be a valid gate id.
+  const size_t kGates = 128;
+  StaticIndex idx(kGates, 8);
+  for (size_t g = 0; g < kGates; ++g) {
+    idx.SetSeparator(g, g == 0 ? kKeyMin : g * 100);
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t round = 0;
+    while (!stop.load()) {
+      for (size_t g = 1; g < kGates; ++g) {
+        idx.SetSeparator(g, g * 100 + (round % 50));
+      }
+      ++round;
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 200000; ++i) {
+        size_t g = idx.Lookup(static_cast<Key>(i * 131) % (kGates * 100));
+        ASSERT_LT(g, kGates);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace cpma
