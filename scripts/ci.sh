@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# One-command verify: configure -> build -> ctest -> sanitizer smoke.
+#
+#   scripts/ci.sh              # release + asan smoke + tsan concurrent smoke
+#   scripts/ci.sh --fast       # release build + full ctest only
+#   JOBS=8 scripts/ci.sh       # override build/test parallelism
+#
+# Exits non-zero on the first failing stage. Uses the CMakePresets.json
+# presets, so the build trees land in build/, build-asan/, build-tsan/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+stage() { printf '\n=== %s ===\n' "$*"; }
+
+stage "configure + build (release)"
+cmake --preset release
+cmake --build --preset release -j "$JOBS"
+
+stage "ctest (release, all labels)"
+ctest --preset release --parallel "$JOBS"
+
+if [[ "$FAST" == 1 ]]; then
+  echo "--fast: skipping sanitizer stages"
+  exit 0
+fi
+
+stage "configure + build (asan+ubsan)"
+cmake --preset asan
+cmake --build --preset asan -j "$JOBS"
+
+stage "ctest (asan, full suite)"
+ctest --preset asan --parallel "$JOBS"
+
+stage "configure + build (tsan)"
+cmake --preset tsan
+cmake --build --preset tsan -j "$JOBS"
+
+stage "ctest (tsan, concurrent label)"
+ctest --preset tsan
+
+stage "all stages green"

@@ -252,7 +252,7 @@ bool BwTree::ConsolidateOnce(uint64_t node_id, void* head) {
   const uint64_t right = old_base->right_id;
 
   if (merged.size() > kMaxEntries) {
-    Split(node_id, std::move(merged), low, high, right);
+    Split(node_id, low, high, right);
     return true;
   }
   auto* fresh = new Base();
@@ -279,8 +279,7 @@ bool BwTree::ConsolidateOnce(uint64_t node_id, void* head) {
   return false;
 }
 
-void BwTree::Split(uint64_t node_id, std::vector<Item> sorted, Key low,
-                   Key high, uint64_t right_id) {
+void BwTree::Split(uint64_t node_id, Key low, Key high, uint64_t right_id) {
   std::lock_guard<std::mutex> smo(smo_mu_);
   // Re-materialize under the SMO lock (the chain may have grown).
   void* head = mapping_[node_id].load(std::memory_order_acquire);

@@ -362,7 +362,9 @@ TEST(ConcurrentPmaHeavy, ReadersSeeConsistentValuesForStableKeys) {
   std::atomic<bool> failed{false};
   std::vector<std::thread> readers;
   for (int r = 0; r < 3; ++r) {
-    readers.emplace_back([&] {
+    // Capture r by value: a [&] capture would read the loop counter while
+    // the main thread increments it (a TSan-reported data race).
+    readers.emplace_back([&, r] {
       Random rng(r);
       while (!stop.load()) {
         Key k = 2 * rng.NextBounded(1000);
