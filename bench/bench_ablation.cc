@@ -45,55 +45,67 @@ std::unique_ptr<ConcurrentPMA> MakePma(size_t segment_capacity,
   return std::make_unique<ConcurrentPMA>(cfg);
 }
 
-void Row(const char* label, OrderedMap* m, const WorkloadConfig& w) {
+void Row(const char* what, const char* label, OrderedMap* m,
+         const WorkloadConfig& w, BenchJson* json) {
   WorkloadResult r = RunWorkload(m, w);
   std::printf("%-22s %-10s %14.3f %14.3f\n", label, DistName(w.dist),
               r.update_mops, r.scan_meps);
   std::fflush(stdout);
+  json->Add()
+      .Str("what", what)
+      .Str("structure", label)
+      .Str("dist", DistName(w.dist))
+      .Int("update_threads", static_cast<uint64_t>(w.update_threads))
+      .Int("scan_threads", static_cast<uint64_t>(w.scan_threads))
+      .Int("ops", w.num_ops)
+      .Int("range", w.key_range)
+      .Num("update_mops", r.update_mops)
+      .Num("scan_meps", r.scan_meps)
+      .Num("seconds", r.seconds);
 }
 
-void LeafAblation(size_t ops, uint64_t range) {
+void LeafAblation(size_t ops, uint64_t range, BenchJson* json) {
   std::printf("\n=== Ablation: ART/B+tree leaf size (paper §4.1) ===\n");
   std::printf("%-22s %-10s %14s %14s\n", "structure", "dist",
               "updates[M/s]", "scans[Melt/s]");
   for (Dist d : {Dist::kUniform, Dist::kZipf15}) {
     for (size_t leaf : {4096u, 8192u}) {
       ArtBTree art(leaf);
-      Row(leaf == 4096 ? "ART(4KiB leaves)" : "ART(8KiB leaves)", &art,
-          BaseConfig(ops, range, d));
+      Row("leaf", leaf == 4096 ? "ART(4KiB leaves)" : "ART(8KiB leaves)",
+          &art, BaseConfig(ops, range, d), json);
     }
     auto pma = MakePma(128);
-    Row("PMA(B=128)", pma.get(), BaseConfig(ops, range, d));
+    Row("leaf", "PMA(B=128)", pma.get(), BaseConfig(ops, range, d), json);
   }
 }
 
-void SegmentAblation(size_t ops, uint64_t range) {
+void SegmentAblation(size_t ops, uint64_t range, BenchJson* json) {
   std::printf("\n=== Ablation: PMA segment capacity (paper §4.1) ===\n");
   std::printf("%-22s %-10s %14s %14s\n", "structure", "dist",
               "updates[M/s]", "scans[Melt/s]");
   for (Dist d : {Dist::kUniform, Dist::kZipf15}) {
     for (size_t seg : {128u, 256u}) {
       auto pma = MakePma(seg);
-      Row(seg == 128 ? "PMA(B=128)" : "PMA(B=256)", pma.get(),
-          BaseConfig(ops, range, d));
+      Row("segment", seg == 128 ? "PMA(B=128)" : "PMA(B=256)", pma.get(),
+          BaseConfig(ops, range, d), json);
     }
   }
 }
 
-void RewireAblation(size_t ops, uint64_t range) {
+void RewireAblation(size_t ops, uint64_t range, BenchJson* json) {
   std::printf("\n=== Ablation: memory rewiring vs copy rebalances ===\n");
   std::printf("%-22s %-10s %14s %14s\n", "structure", "dist",
               "updates[M/s]", "scans[Melt/s]");
   for (Dist d : {Dist::kUniform, Dist::kZipf15}) {
     for (bool rewire : {true, false}) {
       auto pma = MakePma(128, rewire);
-      Row(rewire ? "PMA(rewired)" : "PMA(two-copy)", pma.get(),
-          BaseConfig(ops, range, d));
+      Row("rewire", rewire ? "PMA(rewired)" : "PMA(two-copy)", pma.get(),
+          BaseConfig(ops, range, d), json);
     }
   }
 }
 
-void AdaptiveAblation(size_t ops, uint64_t range) {
+void AdaptiveAblation(size_t ops, uint64_t range, BenchJson* json) {
   std::printf(
       "\n=== Ablation: adaptive vs traditional rebalancing (sequential) "
       "===\n");
@@ -112,6 +124,14 @@ void AdaptiveAblation(size_t ops, uint64_t range) {
     std::printf("%-22s %-10s %14.3f %16" PRIu64 "\n",
                 adaptive ? "adaptive" : "traditional", "asc-run",
                 static_cast<double>(ops) / secs / 1e6, pma.num_rebalances());
+    json->Add()
+        .Str("what", "adaptive")
+        .Str("structure", adaptive ? "adaptive" : "traditional")
+        .Str("dist", "asc-run")
+        .Int("ops", ops)
+        .Num("update_mops", static_cast<double>(ops) / secs / 1e6)
+        .Int("rebalances", pma.num_rebalances())
+        .Num("seconds", secs);
   }
   (void)range;
 }
@@ -126,9 +146,10 @@ int main(int argc, char** argv) {
   const uint64_t range = flags.GetInt("range", 1ull << 27);
   const std::string what = flags.Get("what", "all");
   std::printf("# bench_ablation: ops=%zu range=%" PRIu64 "\n", ops, range);
-  if (what == "leaf" || what == "all") LeafAblation(ops, range);
-  if (what == "segment" || what == "all") SegmentAblation(ops, range);
-  if (what == "rewire" || what == "all") RewireAblation(ops, range);
-  if (what == "adaptive" || what == "all") AdaptiveAblation(ops, range);
-  return 0;
+  BenchJson json(flags, "ablation");
+  if (what == "leaf" || what == "all") LeafAblation(ops, range, &json);
+  if (what == "segment" || what == "all") SegmentAblation(ops, range, &json);
+  if (what == "rewire" || what == "all") RewireAblation(ops, range, &json);
+  if (what == "adaptive" || what == "all") AdaptiveAblation(ops, range, &json);
+  return json.Write() ? 0 : 1;
 }

@@ -44,7 +44,7 @@ std::unique_ptr<OrderedMap> MakeStructure(const std::string& which) {
   return std::make_unique<ConcurrentPMA>(cfg);
 }
 
-void RunPlot(char plot, size_t ops, uint64_t range) {
+void RunPlot(char plot, size_t ops, uint64_t range, BenchJson* json) {
   int upd = 16, scan = 0;
   bool mixed = false;
   switch (plot) {
@@ -77,6 +77,18 @@ void RunPlot(char plot, size_t ops, uint64_t range) {
       std::printf("%-10s %-10s %14.3f %14.3f %10.2f\n", which,
                   DistName(dist), r.update_mops, r.scan_meps, r.seconds);
       std::fflush(stdout);
+      json->Add()
+          .Str("plot", std::string(1, plot))
+          .Str("structure", which)
+          .Str("dist", DistName(dist))
+          .Int("update_threads", static_cast<uint64_t>(upd))
+          .Int("scan_threads", static_cast<uint64_t>(scan))
+          .Bool("mixed", mixed)
+          .Int("ops", ops)
+          .Int("range", range)
+          .Num("update_mops", r.update_mops)
+          .Num("scan_meps", r.scan_meps)
+          .Num("seconds", r.seconds);
     }
   }
 }
@@ -93,10 +105,13 @@ int main(int argc, char** argv) {
   std::printf("# bench_fig3: ops=%zu range=%" PRIu64
               " (paper: ops=2^30, range=2^27, 16 threads)\n",
               ops, range);
+  BenchJson json(flags, "fig3");
   if (plot == "all") {
-    for (char p : {'a', 'b', 'c', 'd', 'e', 'f'}) RunPlot(p, ops, range);
+    for (char p : {'a', 'b', 'c', 'd', 'e', 'f'}) {
+      RunPlot(p, ops, range, &json);
+    }
   } else {
-    RunPlot(plot[0], ops, range);
+    RunPlot(plot[0], ops, range, &json);
   }
-  return 0;
+  return json.Write() ? 0 : 1;
 }

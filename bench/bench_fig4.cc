@@ -32,7 +32,7 @@ const ModeSpec kModes[] = {
     {"batch-800ms", ConcurrentConfig::AsyncMode::kBatch, 800},
 };
 
-void RunPanel(int upd_threads, size_t ops, uint64_t range) {
+void RunPanel(int upd_threads, size_t ops, uint64_t range, BenchJson* json) {
   const int scan_threads = 16 - upd_threads;
   std::printf("\n=== Figure 4 (%d updaters, %d scanners) ===\n", upd_threads,
               scan_threads);
@@ -60,6 +60,18 @@ void RunPanel(int upd_threads, size_t ops, uint64_t range) {
       std::printf("%-16s %-10s %14.3f %9.2fx\n", spec.label, DistName(dist),
                   r.update_mops, r.update_mops / baseline);
       std::fflush(stdout);
+      json->Add()
+          .Str("scheme", spec.label)
+          .Str("dist", DistName(dist))
+          .Int("update_threads", static_cast<uint64_t>(upd_threads))
+          .Int("scan_threads", static_cast<uint64_t>(scan_threads))
+          .Int("t_delay_ms", static_cast<uint64_t>(spec.t_delay_ms))
+          .Int("ops", ops)
+          .Int("range", range)
+          .Num("update_mops", r.update_mops)
+          .Num("scan_meps", r.scan_meps)
+          .Num("speedup", r.update_mops / baseline)
+          .Num("seconds", r.seconds);
     }
   }
 }
@@ -76,10 +88,11 @@ int main(int argc, char** argv) {
   std::printf("# bench_fig4: ops=%zu range=%" PRIu64
               " (paper: 1G inserts, range 2^27)\n",
               ops, range);
+  BenchJson json(flags, "fig4");
   if (threads == "all") {
-    for (int t : {16, 12, 8}) RunPanel(t, ops, range);
+    for (int t : {16, 12, 8}) RunPanel(t, ops, range, &json);
   } else {
-    RunPanel(static_cast<int>(std::stoi(threads)), ops, range);
+    RunPanel(static_cast<int>(std::stoi(threads)), ops, range, &json);
   }
-  return 0;
+  return json.Write() ? 0 : 1;
 }

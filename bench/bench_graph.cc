@@ -90,5 +90,19 @@ int main(int argc, char** argv) {
               g.edges().num_resizes());
   std::printf("%-28s %12" PRIu64 "\n", "global rebalances",
               g.edges().num_global_rebalances());
-  return 0;
+
+  BenchJson json(flags, "graph");
+  json.Add()
+      .Int("edges", edges)
+      .Int("vertices", vertices)
+      .Int("updaters", static_cast<uint64_t>(updaters))
+      .Int("analytics", static_cast<uint64_t>(analytics))
+      .Num("update_mops", static_cast<double>(edges) / secs / 1e6)
+      .Num("bfs_rounds_per_s",
+           static_cast<double>(bfs_rounds.load()) / secs)
+      .Num("pagerank_rounds_per_s",
+           static_cast<double>(pr_rounds.load()) / secs)
+      .Int("final_edges", g.NumEdges())
+      .Num("seconds", secs);
+  return json.Write() ? 0 : 1;
 }

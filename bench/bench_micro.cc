@@ -5,7 +5,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/epoch_gc.h"
+#include "common/hotpath/cpu_dispatch.h"
+#include "common/hotpath/search.h"
+#include "common/hotpath/search_avx2.h"
 #include "common/random.h"
 #include "common/zipf.h"
 #include "concurrent/concurrent_pma.h"
@@ -17,6 +25,51 @@
 
 namespace cpma {
 namespace {
+
+// ------------------------------------------------- hot-path kernels
+// Direct comparison of the segment lower-bound kernels on a full
+// (card = B = 128) segment with uniform random probes — the access
+// pattern of every Find/Insert (ISSUE 2).
+
+std::vector<Item> MakeSegment(size_t card) {
+  std::vector<Item> seg(card);
+  Key k = 17;
+  for (size_t i = 0; i < card; ++i) {
+    seg[i] = {k, i};
+    k += 1 + (i * 2654435761u) % 1024;
+  }
+  return seg;
+}
+
+void BM_SegmentLowerBoundScalar(benchmark::State& state) {
+  const auto seg = MakeSegment(static_cast<size_t>(state.range(0)));
+  const Key max = seg.back().key + 512;
+  Random rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hotpath::ScalarItemLowerBound(
+        seg.data(), seg.size(), rng.NextBounded(max)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SegmentLowerBoundScalar)->Arg(16)->Arg(128)->Arg(256);
+
+#if CPMA_HAVE_AVX2_IMPL
+void BM_SegmentLowerBoundAvx2(benchmark::State& state) {
+  if (!hotpath::Avx2Supported()) {
+    state.SkipWithError("CPU lacks AVX2");
+    return;
+  }
+  const auto seg = MakeSegment(static_cast<size_t>(state.range(0)));
+  const Key max = seg.back().key + 512;
+  Random rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hotpath::Avx2ItemLowerBound(
+        seg.data(), seg.size(), rng.NextBounded(max)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SegmentLowerBoundAvx2)->Arg(16)->Arg(128)->Arg(256);
+#endif
 
 void BM_SequentialPmaInsertUniform(benchmark::State& state) {
   SequentialPMA pma;
@@ -161,4 +214,32 @@ BENCHMARK(BM_ConcurrentPmaInsertMT)->Threads(1)->Threads(4)->Threads(8);
 }  // namespace
 }  // namespace cpma
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): announce the hot-path
+// dispatch, and translate the repo-wide --json=<path> flag into
+// google-benchmark's native JSON reporter so all five bench binaries
+// share one flag for BENCH_*.json trajectories.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    const char* a = *it;
+    if (std::strncmp(a, "--json=", 7) == 0) {
+      out_flag = std::string("--benchmark_out=") + (a + 7);
+      args.erase(it);
+      break;
+    }
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  std::printf("# hotpath dispatch: %s\n",
+              cpma::hotpath::ActiveDispatchName());
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

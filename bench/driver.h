@@ -13,13 +13,22 @@
 #include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/hotpath/cpu_dispatch.h"
 #include "common/ordered_map.h"
 #include "common/pin.h"
 #include "common/random.h"
 #include "common/timer.h"
 #include "common/zipf.h"
+
+// Git revision baked in by bench/CMakeLists.txt (git describe
+// --always --dirty at configure time) so every emitted record names the
+// build it measured; "unknown" outside a git checkout.
+#ifndef CPMA_GIT_SHA
+#define CPMA_GIT_SHA "unknown"
+#endif
 
 namespace cpma::bench {
 
@@ -173,6 +182,99 @@ class Flags {
 
  private:
   std::map<std::string, std::string> kv_;
+};
+
+// ------------------------------------------------------------- JSON out
+//
+// `--json=<path>` on any figure/ablation driver emits one flat record
+// per measured workload — the knobs that produced the number next to the
+// number itself, plus the git sha and the hot-path dispatch — so
+// BENCH_*.json trajectories can be tracked across PRs (ROADMAP).
+// bench_micro routes the same flag through google-benchmark's native
+// JSON reporter instead (see bench_micro.cc).
+
+/// One record: ordered key/value pairs, values pre-serialized as JSON.
+class JsonRecord {
+ public:
+  JsonRecord& Str(const std::string& k, const std::string& v) {
+    std::string out = "\"";
+    for (char c : v) {  // controlled identifiers; escape just in case
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    fields_.emplace_back(k, std::move(out));
+    return *this;
+  }
+  JsonRecord& Num(const std::string& k, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    fields_.emplace_back(k, buf);
+    return *this;
+  }
+  JsonRecord& Int(const std::string& k, uint64_t v) {
+    fields_.emplace_back(k, std::to_string(v));
+    return *this;
+  }
+  JsonRecord& Bool(const std::string& k, bool v) {
+    fields_.emplace_back(k, v ? "true" : "false");
+    return *this;
+  }
+
+ private:
+  friend class BenchJson;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Collects records and writes them as a JSON array on Write(). With no
+/// --json flag the collection is kept but never written (negligible
+/// cost, keeps call sites unconditional).
+class BenchJson {
+ public:
+  BenchJson(const Flags& flags, std::string bench)
+      : path_(flags.Get("json", "")), bench_(std::move(bench)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// New record pre-filled with the bench name, git sha and dispatch.
+  JsonRecord& Add() {
+    records_.emplace_back();
+    return records_.back()
+        .Str("bench", bench_)
+        .Str("git_sha", CPMA_GIT_SHA)
+        .Str("dispatch", hotpath::ActiveDispatchName());
+  }
+
+  /// Write the array; returns false (with a message) on I/O failure.
+  bool Write() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot open --json path %s\n",
+                   path_.c_str());
+      return false;
+    }
+    std::fputs("[\n", f);
+    for (size_t r = 0; r < records_.size(); ++r) {
+      std::fputs("  {", f);
+      const auto& fields = records_[r].fields_;
+      for (size_t i = 0; i < fields.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                     fields[i].first.c_str(), fields[i].second.c_str());
+      }
+      std::fprintf(f, "}%s\n", r + 1 == records_.size() ? "" : ",");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    std::printf("# wrote %zu record(s) to %s\n", records_.size(),
+                path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::string bench_;
+  std::vector<JsonRecord> records_;
 };
 
 }  // namespace cpma::bench

@@ -23,6 +23,18 @@ cmake --build --preset release -j "$JOBS"
 stage "ctest (release, all labels)"
 ctest --preset release --parallel "$JOBS"
 
+# Which hot-path kernel this box dispatches to (ISSUE 2), then prove the
+# portable scalar fallback stays green by re-running the unit label with
+# AVX2 disabled via the env override.
+stage "hot-path dispatch"
+./build/tests/test_hotpath --gtest_filter='HotpathDispatch.*' | grep '\[hotpath\]'
+
+stage "ctest (release, unit label, CPMA_DISABLE_AVX2=1)"
+CPMA_DISABLE_AVX2=1 ./build/tests/test_hotpath \
+  --gtest_filter='HotpathDispatch.*' | grep '\[hotpath\]'
+CPMA_DISABLE_AVX2=1 ctest --test-dir build -L unit \
+  --output-on-failure --parallel "$JOBS"
+
 if [[ "$FAST" == 1 ]]; then
   echo "--fast: skipping sanitizer stages"
   exit 0

@@ -1,0 +1,65 @@
+#include "common/hotpath/cpu_dispatch.h"
+
+#include <cstdlib>
+
+#include "common/hotpath/search.h"
+#include "common/hotpath/search_avx2.h"
+
+namespace cpma::hotpath {
+
+namespace {
+size_t ResolveTrampoline(const Item* seg, size_t n, Key key);
+}  // namespace
+
+namespace detail {
+// Constant-initialized, so a lookup issued from another TU's dynamic
+// initializer still resolves correctly instead of racing static init.
+std::atomic<ItemLowerBoundFn> g_item_lower_bound{&ResolveTrampoline};
+}  // namespace detail
+
+bool Avx2Supported() {
+#if CPMA_HAVE_AVX2_IMPL
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool Avx2DisabledByEnv() {
+  const char* env = std::getenv("CPMA_DISABLE_AVX2");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+ItemLowerBoundFn ResolveItemLowerBound() {
+#if CPMA_HAVE_AVX2_IMPL
+  if (Avx2Supported() && !Avx2DisabledByEnv()) {
+    return &Avx2ItemLowerBound;
+  }
+#endif
+  return &ScalarItemLowerBound;
+}
+
+namespace {
+size_t ResolveTrampoline(const Item* seg, size_t n, Key key) {
+  // Concurrent first calls all store the same pointer; relaxed is fine.
+  const ItemLowerBoundFn fn = ResolveItemLowerBound();
+  detail::g_item_lower_bound.store(fn, std::memory_order_relaxed);
+  return fn(seg, n, key);
+}
+}  // namespace
+
+const char* ActiveDispatchName() {
+  ItemLowerBoundFn fn =
+      detail::g_item_lower_bound.load(std::memory_order_relaxed);
+  if (fn == &ResolveTrampoline) {
+    fn = ResolveItemLowerBound();
+    detail::g_item_lower_bound.store(fn, std::memory_order_relaxed);
+  }
+#if CPMA_HAVE_AVX2_IMPL
+  if (fn == &Avx2ItemLowerBound) return "avx2";
+#endif
+  return "scalar";
+}
+
+}  // namespace cpma::hotpath

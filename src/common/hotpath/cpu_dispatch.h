@@ -1,0 +1,52 @@
+// Runtime CPU dispatch for the hot-path search kernels (ISSUE 2).
+//
+// The binary stays -march portable: the AVX2 kernel is compiled with a
+// per-function target attribute (search_avx2.h) and selected once at
+// startup via CPUID. The selection is published through a relaxed atomic
+// function pointer that starts out as a self-replacing resolver, so the
+// very first call from any thread installs the final kernel; every later
+// call is a plain indirect call (one relaxed load, free on x86).
+//
+// Forcing the portable path: set CPMA_DISABLE_AVX2 to any value other
+// than "" or "0" in the environment before the first lookup. CI runs the
+// unit label once per path (see .github/workflows/ci.yml).
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "pma/item.h"
+
+namespace cpma::hotpath {
+
+/// Signature shared by the scalar and SIMD lower-bound kernels: position
+/// of the first item in the sorted array `seg[0..n)` whose key is >= key.
+using ItemLowerBoundFn = size_t (*)(const Item* seg, size_t n, Key key);
+
+/// True when the CPU supports AVX2 (ignores the env override).
+bool Avx2Supported();
+
+/// True when CPMA_DISABLE_AVX2 forces the scalar path.
+bool Avx2DisabledByEnv();
+
+/// Kernel the dispatcher picks (CPUID + env override). Idempotent.
+ItemLowerBoundFn ResolveItemLowerBound();
+
+/// "avx2" or "scalar" — which kernel the hot paths use. Forces
+/// resolution so the answer matches subsequent SegmentLowerBound calls.
+const char* ActiveDispatchName();
+
+namespace detail {
+extern std::atomic<ItemLowerBoundFn> g_item_lower_bound;
+}  // namespace detail
+
+/// Position of `key` in a sorted segment (lower bound). The single entry
+/// point replacing the scalar copies that used to live in anonymous
+/// namespaces in sequential_pma.cc and concurrent_pma.cc.
+inline size_t SegmentLowerBound(const Item* seg, uint32_t card, Key key) {
+  return detail::g_item_lower_bound.load(std::memory_order_relaxed)(
+      seg, card, key);
+}
+
+}  // namespace cpma::hotpath

@@ -1,0 +1,88 @@
+// AVX2 lower bound over Item arrays (ISSUE 2), compiled with a
+// per-function target attribute so the translation unit — and the whole
+// binary — needs no -mavx2; cpu_dispatch.cc selects it via CPUID.
+//
+// Shape: the branchless scalar halving narrows the window to <= 16
+// items (3 cmov steps for the paper's B = 128), then a FIXED 16-item
+// window aligned to stay inside the array is counted with exactly four
+// unconditional 256-bit compares. Two design points matter, both
+// measured on the dev box against random probe keys:
+//
+//  - No early exit in the vector tail. A data-dependent exit branch
+//    mispredicts roughly once per lookup and costs more than the two
+//    compare blocks it saves; the fixed trip count keeps the whole
+//    kernel free of unpredictable branches, and the four blocks are
+//    independent, so they overlap in the pipeline (unlike the serially
+//    dependent scalar halving steps they replace).
+//  - Keys sit at qword stride 2 inside the 16-byte Item, so two
+//    unaligned loads + one unpacklo_epi64 pick out four keys per block —
+//    cheaper across AVX2 microarchitectures than a vpgatherqq, whose
+//    latency on many parts exceeds the loads it replaces. unpacklo
+//    scrambles element order inside the vector, which a population
+//    count does not care about.
+//
+// AVX2 has only signed 64-bit compares; flipping the sign bit of both
+// sides maps unsigned order onto signed order, keeping keys near the
+// kKeySentinel boundary correct.
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/hotpath/search.h"
+#include "pma/item.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CPMA_HAVE_AVX2_IMPL 1
+
+#include <immintrin.h>
+
+namespace cpma::hotpath {
+
+static_assert(offsetof(Item, key) == 0, "AVX2 kernel assumes key-first");
+
+__attribute__((target("avx2"))) inline size_t Avx2ItemLowerBound(
+    const Item* seg, size_t n, Key key) {
+  constexpr size_t kWindow = 16;
+  if (n < kWindow) {
+    // Too small for a full vector window (and in the PMA, rare: only a
+    // nearly empty array has segments this sparse).
+    return ScalarItemLowerBound(seg, n, key);
+  }
+  const Item* base = seg;
+  size_t len = n;
+  while (len > kWindow) {
+    const size_t half = len / 2;
+    base += static_cast<size_t>(base[half - 1].key < key) * half;
+    len -= half;
+  }
+  // The answer lies in [base, base + len] with len <= 16. Slide the
+  // window left so it is 16 wide yet stays inside the array: items the
+  // slide prepends are all < key (they precede `base`), so counting
+  // them keeps the arithmetic exact.
+  const Item* w = seg + n - kWindow < base ? seg + n - kWindow : base;
+  const __m256i sign = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ull));
+  const __m256i target = _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<long long>(key)), sign);
+  size_t cnt = 0;
+  for (size_t b = 0; b < kWindow / 4; ++b) {
+    const __m256i a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(w + 4 * b));      // items 0,1
+    const __m256i c = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(w + 4 * b + 2));  // items 2,3
+    const __m256i keys =
+        _mm256_xor_si256(_mm256_unpacklo_epi64(a, c), sign);
+    const unsigned lt = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(
+            _mm256_cmpgt_epi64(target, keys))));
+    cnt += static_cast<size_t>(__builtin_popcount(lt));
+  }
+  return static_cast<size_t>(w - seg) + cnt;
+}
+
+}  // namespace cpma::hotpath
+
+#else
+#define CPMA_HAVE_AVX2_IMPL 0
+#endif

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/hotpath/search.h"
 #include "common/timer.h"
 #include "concurrent/rebalancer.h"
 #include "pma/density.h"
@@ -13,22 +14,9 @@
 
 namespace cpma {
 
-namespace {
-
-size_t SegmentLowerBound(const Item* seg, uint32_t card, Key key) {
-  size_t lo = 0, hi = card;
-  while (lo < hi) {
-    size_t mid = (lo + hi) / 2;
-    if (seg[mid].key < key) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
-}
-
-}  // namespace
+// One tested lower bound for every segment search (hot-path subsystem,
+// ISSUE 2) instead of a per-TU scalar copy.
+using hotpath::SegmentLowerBound;
 
 void RecomputeFences(Snapshot* snap, size_t gb, size_t ge) {
   CPMA_CHECK(gb < ge && ge <= snap->num_gates());
@@ -290,7 +278,7 @@ bool ConcurrentPMA::ApplyOpLocal(Snapshot* snap, Gate* gate, const GateOp& op,
     const size_t s = LocateSegment(*snap, *gate, op.key);
     Item* seg = st->segment(s);
     const uint32_t card = st->card(s);
-    const size_t pos = SegmentLowerBound(seg, card, op.key);
+    const size_t pos = hotpath::SegmentLowerBoundForUpdate(seg, card, op.key);
     if (pos >= card || seg[pos].key != op.key) return true;  // absent
     std::memmove(seg + pos, seg + pos + 1, (card - pos - 1) * sizeof(Item));
     st->set_card(s, card - 1);
@@ -307,7 +295,7 @@ bool ConcurrentPMA::ApplyOpLocal(Snapshot* snap, Gate* gate, const GateOp& op,
     const size_t s = LocateSegment(*snap, *gate, op.key);
     Item* seg = st->segment(s);
     const uint32_t card = st->card(s);
-    const size_t pos = SegmentLowerBound(seg, card, op.key);
+    const size_t pos = hotpath::SegmentLowerBoundForUpdate(seg, card, op.key);
     if (pos < card && seg[pos].key == op.key) {
       seg[pos].value = op.value;  // upsert
       return true;
@@ -503,6 +491,11 @@ uint64_t ConcurrentPMA::SumAll() const {
         break;
       }
       for (size_t s = gate->seg_begin(); s < gate->seg_end(); ++s) {
+        // Prefetch stays inside the held gate: card(s+1) in a foreign
+        // gate would be an unlatched read (a data race with its writer).
+        if (s + 1 < gate->seg_end()) {
+          hotpath::PrefetchSegment(st.segment(s + 1), st.card(s + 1));
+        }
         const Item* seg = st.segment(s);
         const uint32_t card = st.card(s);
         uint32_t i = 0;
@@ -540,6 +533,11 @@ void ConcurrentPMA::Scan(Key min, Key max, const ScanCallback& cb) const {
         break;
       }
       for (size_t s = gate->seg_begin(); s < gate->seg_end(); ++s) {
+        // Prefetch stays inside the held gate: card(s+1) in a foreign
+        // gate would be an unlatched read (a data race with its writer).
+        if (s + 1 < gate->seg_end()) {
+          hotpath::PrefetchSegment(st.segment(s + 1), st.card(s + 1));
+        }
         const Item* seg = st.segment(s);
         const uint32_t card = st.card(s);
         uint32_t i =

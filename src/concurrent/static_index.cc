@@ -28,24 +28,31 @@ StaticIndex::StaticIndex(size_t num_gates, size_t fanout)
 }
 
 size_t StaticIndex::Lookup(Key key) const {
-  // Descend from the top level; at each level scan the node's group for
-  // the right-most separator <= key. Upper levels replicate the first
-  // separator of each group below, so group boundaries carry keys.
+  // Descend from the top level; at each level pick the right-most
+  // separator <= key within the node's group. Upper levels replicate the
+  // first separator of each group below, so group boundaries carry keys.
+  //
+  // The pick is branchless (ISSUE 2): count every separator <= key in
+  // the group instead of breaking at the first one greater — under
+  // quiescence the separators are non-decreasing, so the count IS the
+  // right-most match, and the loop has no data-dependent branches for
+  // the predictor to miss. Under concurrent separator updates a torn or
+  // non-monotone read just perturbs the count; the result is still a
+  // slot inside [group, end), i.e. *some* existing gate, and the caller
+  // re-validates against the gate's fence keys exactly as before (the
+  // relaxed-atomic torn-read contract in static_index.h).
   size_t level = num_levels() - 1;
   size_t group = 0;  // index of the first entry of the current node
   for (;;) {
     const size_t base = level_offset_[level];
     const size_t size = level_size_[level];
     const size_t end = std::min(group + fanout_, size);
-    size_t pick = group;
+    size_t cnt = 0;
     for (size_t i = group; i < end; ++i) {
-      const Key sep = slots_[base + i].load(std::memory_order_relaxed);
-      if (sep <= key) {
-        pick = i;
-      } else {
-        break;
-      }
+      cnt += static_cast<size_t>(
+          slots_[base + i].load(std::memory_order_relaxed) <= key);
     }
+    const size_t pick = group + (cnt > 0 ? cnt - 1 : 0);
     if (level == 0) return pick;
     --level;
     group = pick * fanout_;

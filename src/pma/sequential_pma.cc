@@ -4,9 +4,14 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/hotpath/search.h"
 #include "pma/spread.h"
 
 namespace cpma {
+
+// One tested lower bound for every segment search (hot-path subsystem,
+// ISSUE 2) instead of a per-TU scalar copy.
+using hotpath::SegmentLowerBound;
 
 SequentialPMA::SequentialPMA(const PmaConfig& config) : config_(config) {
   CPMA_CHECK(IsPowerOfTwo(config_.segment_capacity));
@@ -18,30 +23,12 @@ SequentialPMA::SequentialPMA(const PmaConfig& config) : config_(config) {
                                        config_.use_rewiring);
 }
 
-namespace {
-
-/// Position of `key` in a sorted segment (lower bound).
-size_t SegmentLowerBound(const Item* seg, uint32_t card, Key key) {
-  size_t lo = 0, hi = card;
-  while (lo < hi) {
-    size_t mid = (lo + hi) / 2;
-    if (seg[mid].key < key) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
-}
-
-}  // namespace
-
 void SequentialPMA::Insert(Key key, Value value) {
   CPMA_CHECK_MSG(key <= kKeyMax, "key out of domain (UINT64_MAX reserved)");
   size_t s = storage_->RouteSegment(key);
   Item* seg = storage_->segment(s);
   uint32_t card = storage_->card(s);
-  size_t pos = SegmentLowerBound(seg, card, key);
+  size_t pos = hotpath::SegmentLowerBoundForUpdate(seg, card, key);
   if (pos < card && seg[pos].key == key) {
     seg[pos].value = value;  // upsert
     return;
@@ -53,7 +40,7 @@ void SequentialPMA::Insert(Key key, Value value) {
     s = storage_->RouteSegment(key);
     seg = storage_->segment(s);
     card = storage_->card(s);
-    pos = SegmentLowerBound(seg, card, key);
+    pos = hotpath::SegmentLowerBoundForUpdate(seg, card, key);
   }
   std::memmove(seg + pos + 1, seg + pos, (card - pos) * sizeof(Item));
   seg[pos] = {key, value};
@@ -67,7 +54,7 @@ void SequentialPMA::Remove(Key key) {
   size_t s = storage_->RouteSegment(key);
   Item* seg = storage_->segment(s);
   uint32_t card = storage_->card(s);
-  size_t pos = SegmentLowerBound(seg, card, key);
+  size_t pos = hotpath::SegmentLowerBoundForUpdate(seg, card, key);
   if (pos >= card || seg[pos].key != key) return;  // not present
   std::memmove(seg + pos, seg + pos + 1, (card - pos - 1) * sizeof(Item));
   storage_->set_card(s, card - 1);
@@ -116,6 +103,10 @@ uint64_t SequentialPMA::SumAll() const {
   uint64_t sum = 0;
   const size_t n = num_segments();
   for (size_t s = 0; s < n; ++s) {
+    if (s + 1 < n) {
+      hotpath::PrefetchSegment(storage_->segment(s + 1),
+                               storage_->card(s + 1));
+    }
     const Item* seg = storage_->segment(s);
     const uint32_t card = storage_->card(s);
     for (uint32_t i = 0; i < card; ++i) sum += seg[i].value;
@@ -128,6 +119,10 @@ void SequentialPMA::Scan(Key min, Key max, const ScanCallback& cb) const {
   const size_t first = storage_->RouteSegment(min);
   const size_t n = num_segments();
   for (size_t s = first; s < n; ++s) {
+    if (s + 1 < n) {
+      hotpath::PrefetchSegment(storage_->segment(s + 1),
+                               storage_->card(s + 1));
+    }
     const Item* seg = storage_->segment(s);
     const uint32_t card = storage_->card(s);
     uint32_t i = (s == first)
@@ -210,20 +205,29 @@ void SequentialPMA::Resize(size_t new_num_segments) {
       target[j] = static_cast<uint32_t>(m / n + (j < m % n ? 1 : 0));
     }
   }
-  // Stream old live elements into the new region in order.
+  // Stream old live elements into the new region in order, a memcpy
+  // chunk at a time (two-pointer repack, same idiom as the spread's
+  // CopyPartitionToBuffer) instead of item-by-item: resizes copy every
+  // element, so they sit on the insert path's amortized cost.
   size_t out_seg = 0;
   uint32_t out_pos = 0;
   const size_t old_n = storage_->num_segments();
   for (size_t s = 0; s < old_n; ++s) {
     const Item* seg = storage_->segment(s);
+    uint32_t in_pos = 0;
     const uint32_t card = storage_->card(s);
-    for (uint32_t i = 0; i < card; ++i) {
+    while (in_pos < card) {
       while (out_seg < n && out_pos >= target[out_seg]) {
         ++out_seg;
         out_pos = 0;
       }
       CPMA_CHECK(out_seg < n);
-      fresh->segment(out_seg)[out_pos++] = seg[i];
+      const uint32_t chunk =
+          std::min(card - in_pos, target[out_seg] - out_pos);
+      std::memcpy(fresh->segment(out_seg) + out_pos, seg + in_pos,
+                  chunk * sizeof(Item));
+      in_pos += chunk;
+      out_pos += chunk;
     }
   }
   for (size_t j = 0; j < n; ++j) fresh->set_card(j, target[j]);

@@ -26,6 +26,13 @@ Storage::Storage(size_t num_segments, size_t segment_capacity,
 size_t Storage::RouteSegment(Key key) const {
   // upper_bound returns the first route > key; the target segment is the
   // one before it. route_[0] == kKeyMin <= key always, so idx >= 1.
+  //
+  // Deliberately branchy (PR 2 A/B'd a branchless cmov upper bound here
+  // and dropped it): the route array outgrows L1 (128 KiB at 16k
+  // segments), where a cmov chain serializes one cache miss per level,
+  // while a predicted branch speculates ahead and overlaps the loads —
+  // and wins on ascending/zipf patterns outright. Contrast with the
+  // in-cache segment kernels in common/hotpath/search.h.
   auto it = std::upper_bound(route_.begin(), route_.end(), key);
   return static_cast<size_t>(it - route_.begin()) - 1;
 }
