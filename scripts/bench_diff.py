@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON files and print per-workload deltas.
+
+Accepts the two JSON shapes the bench binaries emit (README Performance):
+
+  - the flat record array written by the driver.h --json emitter
+    (bench_fig3/fig4/ablation/graph/rebalance): records are matched on
+    their identifying string/int fields, and the metric fields
+    (update_mops, scan_meps: higher is better) are compared;
+  - google-benchmark's native JSON (bench_micro --json): entries are
+    matched on the benchmark name and cpu_time (lower is better) is
+    compared.
+
+Usage:
+  scripts/bench_diff.py BASELINE.json CANDIDATE.json [--check] [--threshold=10]
+
+With --check the exit status is non-zero when any metric regresses by
+more than the threshold (percent, default 10) — the guard used for the
+BENCH_PR*.json before/after tables.
+"""
+
+import argparse
+import json
+import sys
+
+# Metric fields and their direction: +1 = higher is better, -1 = lower.
+METRICS = {
+    "update_mops": +1,
+    "scan_meps": +1,
+    "items_per_second": +1,
+    "cpu_time": -1,
+    "real_time": -1,
+}
+
+# Record fields that never identify a workload (environment/noise).
+VOLATILE = {"git_sha", "dispatch", "seconds", "date", "items_per_rep"}
+
+
+def load_records(path):
+    """Normalize a bench JSON file to {identity: {metric: value}}."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    if isinstance(data, dict) and "benchmarks" in data:
+        for b in data["benchmarks"]:
+            ident = b.get("name", "?")
+            metrics = {
+                k: v
+                for k, v in b.items()
+                if k in METRICS and isinstance(v, (int, float)) and v != 0
+            }
+            if metrics:
+                out[ident] = metrics
+        return out
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: unrecognized bench JSON shape")
+    for rec in data:
+        ident_fields = []
+        metrics = {}
+        for k, v in sorted(rec.items()):
+            if k in METRICS:
+                if isinstance(v, (int, float)) and v != 0:
+                    metrics[k] = v
+            elif k not in VOLATILE:
+                ident_fields.append(f"{k}={v}")
+        if metrics:
+            out[" ".join(ident_fields)] = metrics
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--check", action="store_true",
+                    help="exit non-zero on any regression over the threshold")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    args = ap.parse_args()
+
+    base = load_records(args.baseline)
+    cand = load_records(args.candidate)
+    common = [k for k in base if k in cand]
+    if not common:
+        print("bench_diff: no matching workloads between the two files",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max(len(k) for k in common)
+    print(f"{'workload':<{width}}  {'metric':<16} {'baseline':>12} "
+          f"{'candidate':>12} {'delta':>8}")
+    for key in common:
+        for metric, direction in METRICS.items():
+            if metric not in base[key] or metric not in cand[key]:
+                continue
+            b, c = base[key][metric], cand[key][metric]
+            delta_pct = (c - b) / b * 100.0
+            # Positive `gain` means the candidate improved.
+            gain = delta_pct * direction
+            marker = ""
+            if gain < -args.threshold:
+                marker = "  << REGRESSION"
+                regressions.append((key, metric, delta_pct))
+            print(f"{key:<{width}}  {metric:<16} {b:>12.4g} {c:>12.4g} "
+                  f"{delta_pct:>+7.1f}%{marker}")
+
+    skipped_base = len(base) - len(common)
+    skipped_cand = len(cand) - len(common)
+    if skipped_base or skipped_cand:
+        print(f"# unmatched workloads: {skipped_base} baseline-only, "
+              f"{skipped_cand} candidate-only")
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed more than "
+              f"{args.threshold:.0f}%:")
+        for key, metric, delta in regressions:
+            print(f"  {key} {metric}: {delta:+.1f}%")
+        if args.check:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,15 +23,23 @@ cmake --build --preset release -j "$JOBS"
 stage "ctest (release, all labels)"
 ctest --preset release --parallel "$JOBS"
 
-# Which hot-path kernel this box dispatches to (ISSUE 2), then prove the
-# portable scalar fallback stays green by re-running the unit label with
+# Which kernels this box dispatches to (search from ISSUE 2; rebalance
+# copy + gate locate from ISSUE 3), then prove the portable scalar
+# fallback stays green for ALL of them by re-running the unit label with
 # AVX2 disabled via the env override.
 stage "hot-path dispatch"
 ./build/tests/test_hotpath --gtest_filter='HotpathDispatch.*' | grep '\[hotpath\]'
 
 stage "ctest (release, unit label, CPMA_DISABLE_AVX2=1)"
-CPMA_DISABLE_AVX2=1 ./build/tests/test_hotpath \
-  --gtest_filter='HotpathDispatch.*' | grep '\[hotpath\]'
+dispatch_line="$(CPMA_DISABLE_AVX2=1 ./build/tests/test_hotpath \
+  --gtest_filter='HotpathDispatch.*' | grep '\[hotpath\]')"
+echo "$dispatch_line"
+for kernel in dispatch search copy locate; do
+  if ! grep -q "${kernel}=scalar" <<<"$dispatch_line"; then
+    echo "FATAL: ${kernel} did not fall back to scalar under CPMA_DISABLE_AVX2"
+    exit 1
+  fi
+done
 CPMA_DISABLE_AVX2=1 ctest --test-dir build -L unit \
   --output-on-failure --parallel "$JOBS"
 

@@ -1,0 +1,84 @@
+// AVX2 non-temporal streaming copy (ISSUE 3), compiled with a
+// per-function target attribute so the binary stays -march portable;
+// cpu_dispatch.cc selects it via CPUID for windows larger than LLC
+// (see copy.h for when streaming wins).
+//
+// Shape: Items are 16 bytes, so every run pointer is at least 16-byte
+// aligned. vmovntdq needs 32-byte-aligned destinations; at most one
+// half-vector head copy aligns dst, then the body streams four cache
+// lines per iteration (independent load/store pairs overlap in the
+// pipeline), and the tail falls back to memcpy.
+//
+// Deliberately NO sfence here: a spread issues one call per segment
+// run, and draining the write-combining buffers per run would serialize
+// exactly the stores this path exists to overlap. The caller publishes
+// the whole window with one StreamCopyFlush (copy.h) before any other
+// thread may observe the buffer.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "pma/item.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CPMA_HAVE_AVX2_COPY_IMPL 1
+
+#include <immintrin.h>
+
+namespace cpma::hotpath {
+
+__attribute__((target("avx2"))) inline void Avx2StreamCopyItems(
+    Item* dst, const Item* src, size_t n) {
+  if (n == 0) return;  // null data() of an empty run is legal here
+  char* d = reinterpret_cast<char*>(dst);
+  const char* s = reinterpret_cast<const char*>(src);
+  size_t bytes = n * sizeof(Item);
+  if (bytes < 256) {
+    // Short runs (sparse segments): alignment + fence overhead exceeds
+    // any bandwidth saving.
+    std::memcpy(d, s, bytes);
+    return;
+  }
+  const size_t head = (32 - (reinterpret_cast<uintptr_t>(d) & 31)) & 31;
+  if (head != 0) {  // 0 or 16 (Item alignment)
+    std::memcpy(d, s, head);
+    d += head;
+    s += head;
+    bytes -= head;
+  }
+  while (bytes >= 128) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + 32));
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + 64));
+    const __m256i e =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + 96));
+    _mm256_stream_si256(reinterpret_cast<__m256i*>(d), a);
+    _mm256_stream_si256(reinterpret_cast<__m256i*>(d + 32), b);
+    _mm256_stream_si256(reinterpret_cast<__m256i*>(d + 64), c);
+    _mm256_stream_si256(reinterpret_cast<__m256i*>(d + 96), e);
+    s += 128;
+    d += 128;
+    bytes -= 128;
+  }
+  while (bytes >= 32) {
+    _mm256_stream_si256(
+        reinterpret_cast<__m256i*>(d),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s)));
+    s += 32;
+    d += 32;
+    bytes -= 32;
+  }
+  if (bytes != 0) std::memcpy(d, s, bytes);
+}
+
+}  // namespace cpma::hotpath
+
+#else
+#define CPMA_HAVE_AVX2_COPY_IMPL 0
+#endif

@@ -24,6 +24,16 @@ namespace cpma::hotpath {
 /// of the first item in the sorted array `seg[0..n)` whose key is >= key.
 using ItemLowerBoundFn = size_t (*)(const Item* seg, size_t n, Key key);
 
+/// Signature of the rebalance streaming-copy kernels (ISSUE 3): copy
+/// `n` items src -> dst; dst and src never overlap (spreads write the
+/// buffer, resizes a fresh region).
+using ItemCopyFn = void (*)(Item* dst, const Item* src, size_t n);
+
+/// Signature of the gate-locate kernels (ISSUE 3): index of the
+/// rightmost entry of `routes[0..n)` that is <= key, or SIZE_MAX when
+/// every entry is greater.
+using LocateRouteFn = size_t (*)(const Key* routes, size_t n, Key key);
+
 /// True when the CPU supports AVX2 (ignores the env override).
 bool Avx2Supported();
 
@@ -32,13 +42,22 @@ bool Avx2DisabledByEnv();
 
 /// Kernel the dispatcher picks (CPUID + env override). Idempotent.
 ItemLowerBoundFn ResolveItemLowerBound();
+ItemCopyFn ResolveStreamCopy();
+LocateRouteFn ResolveLocateRoute();
 
 /// "avx2" or "scalar" — which kernel the hot paths use. Forces
 /// resolution so the answer matches subsequent SegmentLowerBound calls.
+/// All kernels share one CPUID + env decision, so the per-kernel names
+/// below can only ever disagree with this one if a test swapped a
+/// pointer behind the dispatcher's back.
 const char* ActiveDispatchName();
+const char* ActiveCopyDispatchName();
+const char* ActiveLocateDispatchName();
 
 namespace detail {
 extern std::atomic<ItemLowerBoundFn> g_item_lower_bound;
+extern std::atomic<ItemCopyFn> g_stream_copy;
+extern std::atomic<LocateRouteFn> g_locate_route;
 }  // namespace detail
 
 /// Position of `key` in a sorted segment (lower bound). The single entry

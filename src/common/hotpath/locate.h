@@ -1,0 +1,51 @@
+// Gate-locate kernel (ISSUE 3): pick the segment inside a gate's chunk
+// that may hold a key, from the chunk's slice of the routing-key array.
+//
+// Storage::route(s) doubles as the gate's first-keys array: the first
+// key of a non-empty segment, kKeySentinel for an empty one (> every
+// valid key, so empties are transparently skipped), kKeyMin for global
+// segment 0. The answer is the RIGHTMOST route <= key. Because empty
+// segments may sit anywhere inside a chunk (deletions under the relaxed
+// lower threshold), the routes slice is not monotone — sentinels
+// interleave — so the count-of-separators trick from StaticIndex::Lookup
+// does not apply verbatim; instead both kernels build the full <=-mask
+// and take its highest set bit, which needs no monotonicity at all.
+//
+// The scalar kernel replaces the old early-exit scan in
+// ConcurrentPMA::LocateSegment: its select compiles to a conditional
+// move, so the per-gate walk (spg iterations, spg = 8 in the paper) has
+// no data-dependent branch for the predictor to miss — the same
+// reasoning as the read-path search kernels (search.h). The AVX2
+// widening (locate_avx2.h) compares four routes per instruction.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/hotpath/cpu_dispatch.h"
+#include "pma/item.h"
+
+namespace cpma::hotpath {
+
+/// Returned when every route is greater than the key (the key precedes
+/// all stored keys of the chunk).
+constexpr size_t kNoRoute = SIZE_MAX;
+
+/// Branchless rightmost route <= key; kNoRoute if none.
+inline size_t ScalarLocateRoute(const Key* routes, size_t n, Key key) {
+  size_t best = kNoRoute;
+  for (size_t i = 0; i < n; ++i) {
+    best = routes[i] <= key ? i : best;  // cmov
+  }
+  return best;
+}
+
+/// Dispatched entry point (CPUID + CPMA_DISABLE_AVX2, like
+/// SegmentLowerBound).
+inline size_t LocateRoute(const Key* routes, size_t n, Key key) {
+  return detail::g_locate_route.load(std::memory_order_relaxed)(routes, n,
+                                                                key);
+}
+
+}  // namespace cpma::hotpath

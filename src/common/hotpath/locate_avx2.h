@@ -1,0 +1,59 @@
+// AVX2 gate-locate kernel (ISSUE 3): see locate.h for the contract and
+// why the mask is scanned for its highest set bit instead of counted.
+// Per-function target attribute keeps the binary -march portable;
+// cpu_dispatch.cc selects this via CPUID.
+//
+// Four routes per 256-bit compare (routes are a dense Key array — no
+// unpacking needed, unlike the Item-strided search kernel). AVX2 only
+// has signed 64-bit compares; flipping the sign bit of both sides maps
+// unsigned order onto signed order, keeping the kKeySentinel entries of
+// empty segments correctly "greater than everything storable".
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/hotpath/locate.h"
+#include "pma/item.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CPMA_HAVE_AVX2_LOCATE_IMPL 1
+
+#include <immintrin.h>
+
+namespace cpma::hotpath {
+
+__attribute__((target("avx2"))) inline size_t Avx2LocateRoute(
+    const Key* routes, size_t n, Key key) {
+  if (n < 4 || n > 64) {
+    // Below one vector there is nothing to vectorize; above 64 the
+    // one-bit-per-route mask below would overflow (gates that wide do
+    // not occur — spg is 8 in the paper — but the kernel stays total).
+    return ScalarLocateRoute(routes, n, key);
+  }
+  const __m256i sign =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ull));
+  const __m256i target =
+      _mm256_xor_si256(_mm256_set1_epi64x(static_cast<long long>(key)), sign);
+  uint64_t mask = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i r = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(routes + i)),
+        sign);
+    const unsigned gt = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpgt_epi64(r, target))));
+    mask |= static_cast<uint64_t>(~gt & 0xFu) << i;
+  }
+  for (; i < n; ++i) {  // tail (n not a multiple of 4)
+    mask |= static_cast<uint64_t>(routes[i] <= key) << i;
+  }
+  if (mask == 0) return kNoRoute;
+  return 63 - static_cast<size_t>(__builtin_clzll(mask));
+}
+
+}  // namespace cpma::hotpath
+
+#else
+#define CPMA_HAVE_AVX2_LOCATE_IMPL 0
+#endif

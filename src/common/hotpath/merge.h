@@ -1,0 +1,133 @@
+// Run-length merge kernels for merged spreads (ISSUE 3, paper §3.5).
+//
+// Batch processing folds a sorted batch of updates into a window during
+// the rebalance. The old implementation pulled the merged stream through
+// a per-item iterator: one compare + one 16-byte store per element, even
+// though a typical batch touches a handful of keys in a window holding
+// thousands — almost the whole output is unbroken runs of existing
+// elements. These kernels make the run the unit of work:
+//
+//  - MergeRunWithOps gallops: the dispatched segment lower bound
+//    (cpu_dispatch.h) finds how many input items precede the next op's
+//    key in O(log B), and that whole run moves with one streaming copy
+//    (copy.h). Deletions are skipped runs — an op consumes its matching
+//    input item and emits nothing. Per-item work remains only for the
+//    ops themselves.
+//  - SegmentedRunWriter splits emitted runs across fixed-capacity output
+//    segments (the plan's target cardinalities), so the merge loop never
+//    deals with segment boundaries.
+//
+// The writer targets raw (base, stride) storage so the same kernels
+// serve window spreads (output = storage buffer) and resizes (output =
+// fresh region); see pma/spread.cc for both drivers.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/hotpath/copy.h"
+#include "common/hotpath/cpu_dispatch.h"
+#include "common/status.h"
+#include "pma/item.h"
+
+namespace cpma::hotpath {
+
+/// Appends a merged element stream into consecutive output segments:
+/// segment j lives at base + j * stride and receives exactly targets[j]
+/// items. Overflowing the planned layout is a checked logic error.
+class SegmentedRunWriter {
+ public:
+  SegmentedRunWriter(Item* base, size_t stride, const uint32_t* targets,
+                     size_t num_segments, bool stream)
+      : base_(base),
+        stride_(stride),
+        targets_(targets),
+        num_segments_(num_segments),
+        stream_(stream) {
+    SkipFilledSegments();
+  }
+
+  /// Append a run of `n` already-sorted items.
+  void Emit(const Item* run, size_t n) {
+    while (n > 0) {
+      CPMA_CHECK_MSG(seg_ < num_segments_, "merge stream overflows plan");
+      const size_t room = targets_[seg_] - filled_;
+      const size_t take = n < room ? n : room;
+      CopyItems(base_ + seg_ * stride_ + filled_, run, take, stream_);
+      filled_ += static_cast<uint32_t>(take);
+      run += take;
+      n -= take;
+      written_ += take;
+      SkipFilledSegments();
+    }
+  }
+
+  /// Append one item (a batch insertion or upsert).
+  void Emit1(Key key, Value value) {
+    CPMA_CHECK_MSG(seg_ < num_segments_, "merge stream overflows plan");
+    base_[seg_ * stride_ + filled_] = {key, value};
+    ++filled_;
+    ++written_;
+    SkipFilledSegments();
+  }
+
+  size_t written() const { return written_; }
+
+ private:
+  void SkipFilledSegments() {
+    while (seg_ < num_segments_ && filled_ >= targets_[seg_]) {
+      ++seg_;
+      filled_ = 0;
+    }
+  }
+
+  Item* base_;
+  size_t stride_;
+  const uint32_t* targets_;
+  size_t num_segments_;
+  bool stream_;
+  size_t seg_ = 0;
+  uint32_t filled_ = 0;
+  size_t written_ = 0;
+};
+
+/// Merge one sorted input run (a segment's live elements) with the
+/// sorted batch, emitting the merged stream. Consumes every op whose key
+/// sorts at or below in[n-1].key (ops between two segments are emitted
+/// by the next segment's call, or by EmitRemainingOps after the last);
+/// *op_idx advances accordingly. Keys are unique on both sides; an equal
+/// key means the op supersedes the stored element (upsert or deletion).
+inline void MergeRunWithOps(const Item* in, uint32_t n, const BatchEntry* ops,
+                            size_t num_ops, size_t* op_idx,
+                            SegmentedRunWriter* w) {
+  uint32_t i = 0;
+  while (i < n) {
+    if (*op_idx >= num_ops || ops[*op_idx].key > in[n - 1].key) {
+      w->Emit(in + i, n - i);  // no further op lands in this run
+      return;
+    }
+    const BatchEntry& op = ops[*op_idx];
+    // Gallop: everything strictly below the op's key is one run.
+    const uint32_t run =
+        static_cast<uint32_t>(SegmentLowerBound(in + i, n - i, op.key));
+    w->Emit(in + i, run);
+    i += run;
+    ++*op_idx;
+    if (i < n && in[i].key == op.key) ++i;  // op supersedes the element
+    if (!op.is_delete) w->Emit1(op.key, op.value);
+  }
+}
+
+/// Emit the batch tail — ops whose keys sort above every stored key.
+/// Deletions of absent keys are no-ops.
+inline void EmitRemainingOps(const BatchEntry* ops, size_t num_ops,
+                             size_t* op_idx, SegmentedRunWriter* w) {
+  for (; *op_idx < num_ops; ++*op_idx) {
+    if (!ops[*op_idx].is_delete) {
+      w->Emit1(ops[*op_idx].key, ops[*op_idx].value);
+    }
+  }
+}
+
+}  // namespace cpma::hotpath

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/hotpath/locate.h"
 #include "common/hotpath/search.h"
 #include "common/timer.h"
 #include "concurrent/rebalancer.h"
@@ -352,6 +353,27 @@ bool ConcurrentPMA::ApplyBatchLocal(Snapshot* snap, Gate* gate,
   // *same* key — only the cross-key order is relaxed (paper §3.5).
   std::vector<BatchEntry> canon = CanonicalizeBatch(*pending);
   pending->clear();
+
+  // Large batches go straight through one merged gate-window spread
+  // (run-length merge, deletions as skipped runs) instead of the
+  // op-at-a-time passes below: per-op application shifts ~B/2 items per
+  // insert plus its share of local rebalances, while the merged spread
+  // touches each window element exactly once — the crossover is when
+  // the batch's shift work reaches the window's live size. When the
+  // merged total does not fit, fall through: the deletions may free
+  // enough room, and whatever remains spills to the rebalancer.
+  {
+    Storage* st = snap->storage.get();
+    const size_t B = st->segment_capacity();
+    size_t window_live = 0;
+    for (size_t s = gate->seg_begin(); s < gate->seg_end(); ++s) {
+      window_live += st->card(s);
+    }
+    if (!canon.empty() && canon.size() * (B / 2) >= window_live &&
+        TryMergedGateSpread(snap, gate, canon)) {
+      return true;
+    }
+  }
   // First pass: all deletions, freeing space for the insertions.
   std::vector<BatchEntry> inserts;
   for (const BatchEntry& e : canon) {
@@ -375,50 +397,61 @@ bool ConcurrentPMA::ApplyBatchLocal(Snapshot* snap, Gate* gate,
   }
   if (next == inserts.size()) return true;
   std::vector<BatchEntry> batch(inserts.begin() + next, inserts.end());
-
-  Storage* st = snap->storage.get();
-  const size_t B = st->segment_capacity();
-  const size_t b = gate->seg_begin();
-  const size_t e = gate->seg_end();
-  size_t ins = 0, del = 0;
-  const size_t total = CountMerged(*st, b, e, batch, &ins, &del);
-  DensityBounds bounds(cfg_.pma, st->num_segments());
-  const size_t gate_level = Log2Floor(snap->segments_per_gate);
-  const size_t cap = (e - b) * B;
-  const double delta =
-      static_cast<double>(total) / static_cast<double>(cap);
-  if (delta <= bounds.Tau(std::min(gate_level, bounds.root_level())) &&
-      total + (e - b) <= cap) {
-    WindowPlan plan = PlanMergedSpread(*st, b, e, total);
-    MergedCopyToBuffer(st, plan, batch);
-    FinishSpread(st, plan);
-    count_.fetch_add(ins, std::memory_order_relaxed);
-    count_.fetch_sub(del, std::memory_order_relaxed);
-    stat_batches_.fetch_add(1, std::memory_order_relaxed);
-    return true;
-  }
+  if (TryMergedGateSpread(snap, gate, batch)) return true;
   for (const BatchEntry& e : batch) {
     pending->push_back(GateOp{GateOp::Type::kInsert, e.key, e.value});
   }
   return false;
 }
 
+bool ConcurrentPMA::TryMergedGateSpread(Snapshot* snap, Gate* gate,
+                                        const std::vector<BatchEntry>& ops) {
+  Storage* st = snap->storage.get();
+  const size_t B = st->segment_capacity();
+  const size_t b = gate->seg_begin();
+  const size_t e = gate->seg_end();
+  size_t ins = 0, del = 0;
+  const size_t total = CountMerged(*st, b, e, ops, &ins, &del);
+  DensityBounds bounds(cfg_.pma, st->num_segments());
+  const size_t gate_level = Log2Floor(snap->segments_per_gate);
+  const size_t cap = (e - b) * B;
+  const double delta =
+      static_cast<double>(total) / static_cast<double>(cap);
+  if (delta > bounds.Tau(std::min(gate_level, bounds.root_level())) ||
+      total + (e - b) > cap) {
+    return false;
+  }
+  WindowPlan plan = PlanMergedSpread(*st, b, e, total);
+  MergedCopyToBuffer(st, plan, ops);
+  FinishSpread(st, plan);
+  count_.fetch_add(ins, std::memory_order_relaxed);
+  count_.fetch_sub(del, std::memory_order_relaxed);
+  stat_batches_.fetch_add(1, std::memory_order_relaxed);
+  if (del > 0) MaybeRequestShrink(snap);
+  return true;
+}
+
 size_t ConcurrentPMA::LocateSegment(const Snapshot& snap, const Gate& gate,
                                     Key key) const {
+  // The routing keys double as the gate's first-keys array: route(s) is
+  // the first key of a non-empty segment, kKeySentinel for an empty one
+  // (compares greater than any valid key, so empties drop out), kKeyMin
+  // for global segment 0. The rightmost route <= key is therefore the
+  // candidate segment, picked branchlessly/SIMD (hotpath/locate.h)
+  // instead of the old early-exit scan over segment(s)[0].key. Only for
+  // an empty global segment 0 can this pick an empty segment (its route
+  // stays kKeyMin) — then the key precedes every stored key of the gate
+  // and inserting at segment 0, position 0 is exactly right.
   const Storage& st = *snap.storage;
-  size_t best = SIZE_MAX;
-  size_t first_nonempty = SIZE_MAX;
+  const size_t idx =
+      hotpath::LocateRoute(st.routes().data() + gate.seg_begin(),
+                           gate.seg_end() - gate.seg_begin(), key);
+  if (idx != hotpath::kNoRoute) return gate.seg_begin() + idx;
+  // Key precedes every stored key of the chunk (rare — only next to the
+  // low fence): fall back to the first non-empty segment.
   for (size_t s = gate.seg_begin(); s < gate.seg_end(); ++s) {
-    if (st.card(s) == 0) continue;
-    if (first_nonempty == SIZE_MAX) first_nonempty = s;
-    if (st.segment(s)[0].key <= key) {
-      best = s;
-    } else {
-      break;
-    }
+    if (st.card(s) > 0) return s;
   }
-  if (best != SIZE_MAX) return best;
-  if (first_nonempty != SIZE_MAX) return first_nonempty;
   return gate.seg_begin();
 }
 

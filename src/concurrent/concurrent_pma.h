@@ -123,6 +123,13 @@ class ConcurrentPMA : public OrderedMap {
   bool ApplyBatchLocal(Snapshot* snap, Gate* gate,
                        std::deque<GateOp>* pending);
 
+  /// Fold a canonical batch into the gate's window with one merged
+  /// spread, if the merged total fits the gate-level density threshold.
+  /// Updates the element counter / batch stats and requests a shrink
+  /// after net deletions. Returns false (nothing changed) otherwise.
+  bool TryMergedGateSpread(Snapshot* snap, Gate* gate,
+                           const std::vector<BatchEntry>& ops);
+
   // In-gate navigation (caller holds the gate latch).
   // Rightmost non-empty segment of the chunk whose routing key is <= key,
   // or the leftmost non-empty segment, or seg_begin() for an empty chunk.

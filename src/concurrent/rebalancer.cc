@@ -1,7 +1,6 @@
 #include "concurrent/rebalancer.h"
 
 #include <algorithm>
-#include <map>
 
 #include "common/timer.h"
 #include "pma/density.h"
@@ -10,14 +9,25 @@ namespace cpma {
 
 std::vector<BatchEntry> CanonicalizeBatch(const std::deque<GateOp>& ops) {
   // Arrival order decides per-key winners (last op wins), output sorted.
-  std::map<Key, BatchEntry> canon;
+  // A stable sort by key keeps arrival order inside each key run, so the
+  // run's last element is the winner — one contiguous sort + sweep
+  // instead of a node-per-op std::map on the batch hot path.
+  std::vector<BatchEntry> all;
+  all.reserve(ops.size());
   for (const GateOp& op : ops) {
-    canon[op.key] = BatchEntry{op.key, op.value,
-                               op.type == GateOp::Type::kRemove};
+    all.push_back(
+        BatchEntry{op.key, op.value, op.type == GateOp::Type::kRemove});
   }
+  std::stable_sort(
+      all.begin(), all.end(),
+      [](const BatchEntry& a, const BatchEntry& b) { return a.key < b.key; });
   std::vector<BatchEntry> out;
-  out.reserve(canon.size());
-  for (auto& [k, e] : canon) out.push_back(e);
+  out.reserve(all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (i + 1 == all.size() || all[i + 1].key != all[i].key) {
+      out.push_back(all[i]);
+    }
+  }
   return out;
 }
 
@@ -273,11 +283,25 @@ void Rebalancer::ExecuteSpread(Snapshot* snap, size_t seg_b, size_t seg_e,
     // array never conflict with buffer writes). Phase 2: only after every
     // copy completed are the pages rewired — the "delayed rewiring"
     // coordination of §3.3.
-    const size_t gates_per_part = (window_gates + P - 1) / P;
+    //
+    // Partition boundaries balance *live elements*, not gate counts: a
+    // partition's copy cost is the elements it writes, and skewed
+    // windows (a hot append gate, adaptive plans) used to hand one
+    // worker nearly all of them while the rest idled. Cutting the
+    // cumulative target-cardinality prefix at each 1/P share keeps the
+    // workers even; boundaries stay on gates so SwapWindow keeps its
+    // page alignment for rewiring.
     std::vector<std::pair<size_t, size_t>> parts;
-    for (size_t g = 0; g < window_gates; g += gates_per_part) {
-      const size_t g_end = std::min(g + gates_per_part, window_gates);
-      parts.emplace_back(seg_b + g * spg, seg_b + g_end * spg);
+    uint64_t acc = 0;
+    size_t start_gate = 0;
+    for (size_t g = 0; g < window_gates; ++g) {
+      for (size_t s = 0; s < spg; ++s) acc += plan.target_card[g * spg + s];
+      if (g + 1 == window_gates ||
+          (parts.size() + 1 < P &&
+           acc * P >= uint64_t{plan.total} * (parts.size() + 1))) {
+        parts.emplace_back(seg_b + start_gate * spg, seg_b + (g + 1) * spg);
+        start_gate = g + 1;
+      }
     }
     WaitGroup wg;
     wg.Add(static_cast<int>(parts.size()));

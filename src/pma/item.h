@@ -19,4 +19,14 @@ static_assert(sizeof(Item) == 16, "Item must stay 16 bytes (scan locality)");
 /// kKeyMax = UINT64_MAX - 1 (see ordered_map.h).
 constexpr Key kKeySentinel = UINT64_MAX;
 
+/// One canonical update of a batch (paper §3.5): sorted by key, unique
+/// keys, deletions and upserts mixed. Lives next to Item so the hot-path
+/// merge kernels can consume batches without depending on the spread
+/// layer (see common/hotpath/merge.h and pma/spread.h).
+struct BatchEntry {
+  Key key;
+  Value value;
+  bool is_delete;
+};
+
 }  // namespace cpma

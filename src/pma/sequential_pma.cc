@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/hotpath/copy.h"
 #include "common/hotpath/search.h"
 #include "pma/spread.h"
 
@@ -205,10 +206,13 @@ void SequentialPMA::Resize(size_t new_num_segments) {
       target[j] = static_cast<uint32_t>(m / n + (j < m % n ? 1 : 0));
     }
   }
-  // Stream old live elements into the new region in order, a memcpy
-  // chunk at a time (two-pointer repack, same idiom as the spread's
+  // Stream old live elements into the new region in order, a run at a
+  // time (two-pointer repack, same idiom as the spread's
   // CopyPartitionToBuffer) instead of item-by-item: resizes copy every
-  // element, so they sit on the insert path's amortized cost.
+  // element, so they sit on the insert path's amortized cost. Regions
+  // beyond the LLC use the non-temporal copy kernel (hotpath/copy.h).
+  const bool stream = hotpath::StreamCopyPreferred(
+      n * config_.segment_capacity * sizeof(Item));
   size_t out_seg = 0;
   uint32_t out_pos = 0;
   const size_t old_n = storage_->num_segments();
@@ -224,12 +228,13 @@ void SequentialPMA::Resize(size_t new_num_segments) {
       CPMA_CHECK(out_seg < n);
       const uint32_t chunk =
           std::min(card - in_pos, target[out_seg] - out_pos);
-      std::memcpy(fresh->segment(out_seg) + out_pos, seg + in_pos,
-                  chunk * sizeof(Item));
+      hotpath::CopyItems(fresh->segment(out_seg) + out_pos, seg + in_pos,
+                         chunk, stream);
       in_pos += chunk;
       out_pos += chunk;
     }
   }
+  hotpath::StreamCopyFlush(stream);
   for (size_t j = 0; j < n; ++j) fresh->set_card(j, target[j]);
   fresh->RebuildRoutes(0, n);
   storage_ = std::move(fresh);

@@ -4,6 +4,9 @@
 #include <cstring>
 #include <numeric>
 
+#include "common/hotpath/copy.h"
+#include "common/hotpath/cpu_dispatch.h"
+#include "common/hotpath/merge.h"
 #include "common/status.h"
 
 namespace cpma {
@@ -85,39 +88,22 @@ WindowPlan PlanSpread(const Storage& st, size_t seg_begin, size_t seg_end,
       weights[j] = 1 + st.insert_count(seg_begin + j);
     }
   }
-  std::vector<uint32_t> gap = AllocateGaps(weights, gaps, B);
-  for (size_t j = 0; j < n; ++j) plan.target_card[j] = B - gap[j];
-
-  // Re-establish the ">= 1 element per segment" floor the adaptive
-  // allocation may have violated (a fully-gapped segment would break
-  // routing).
+  // Allocate inside the feasible per-segment gap band up front instead
+  // of fixing violations afterwards. The ceiling B-1 keeps >= 1 element
+  // everywhere (a fully-gapped segment would break routing); the floor
+  // of 1 gap applies whenever the window is sparse enough (m <= n*(B-1))
+  // and guarantees every segment ends with a free slot — after the
+  // spread the pending key may route to *any* window segment, so a full
+  // segment anywhere would make the caller's retry loop spin. The old
+  // repair loops moved one element per max/min_element rescan, O(n^2)
+  // per plan on skewed adaptive windows (a hot append segment soaks up
+  // all gaps and every cold segment needed repair); banded allocation is
+  // one pass.
+  const uint32_t gap_floor = (m <= n * size_t{B - 1}) ? 1 : 0;
+  std::vector<uint32_t> gap = AllocateGaps(
+      weights, gaps - uint64_t{gap_floor} * n, B - 1 - gap_floor);
   for (size_t j = 0; j < n; ++j) {
-    while (plan.target_card[j] < 1) {
-      size_t k = static_cast<size_t>(
-          std::max_element(plan.target_card.begin(), plan.target_card.end()) -
-          plan.target_card.begin());
-      CPMA_CHECK(plan.target_card[k] > 1);
-      --plan.target_card[k];
-      ++plan.target_card[j];
-    }
-  }
-
-  // When the window has at least one gap per segment, make sure every
-  // segment ends with a free slot: after the spread the pending key may
-  // route to *any* window segment (routes move with the elements), so a
-  // full segment anywhere would make the caller's retry loop spin.
-  if (m <= n * size_t{B - 1}) {
-    for (size_t j = 0; j < n; ++j) {
-      while (plan.target_card[j] >= B) {
-        size_t k = static_cast<size_t>(
-            std::min_element(plan.target_card.begin(),
-                             plan.target_card.end()) -
-            plan.target_card.begin());
-        CPMA_CHECK(plan.target_card[k] < B - 1);
-        --plan.target_card[j];
-        ++plan.target_card[k];
-      }
-    }
+    plan.target_card[j] = B - gap_floor - gap[j];
   }
 
   // Guarantee room in the trigger segment for the pending insertion.
@@ -142,6 +128,10 @@ void CopyPartitionToBuffer(Storage* st, const WindowPlan& plan,
   CPMA_CHECK(out_begin >= plan.seg_begin && out_end <= plan.seg_end);
   if (out_begin >= out_end) return;
   const size_t n0 = plan.seg_begin;
+  // Streaming verdict for the whole window (not this partition): all
+  // partitions of one spread should take the same store path.
+  const bool stream = hotpath::StreamCopyPreferred(
+      (plan.seg_end - plan.seg_begin) * st->segment_bytes());
 
   // Rank of the first element this partition outputs.
   uint64_t rank = 0;
@@ -171,79 +161,19 @@ void CopyPartitionToBuffer(Storage* st, const WindowPlan& plan,
       }
       const uint32_t take = std::min<uint32_t>(
           want - got, avail - static_cast<uint32_t>(in_pos));
-      std::memcpy(out + got, st->segment(in_seg) + in_pos,
-                  take * sizeof(Item));
+      hotpath::CopyItems(out + got, st->segment(in_seg) + in_pos, take,
+                         stream);
       got += take;
       in_pos += take;
     }
   }
+  // One publish barrier per partition: runs inside the worker task, so
+  // the streamed stores are drained before the WaitGroup releases the
+  // swap phase (or before the single-threaded caller publishes).
+  hotpath::StreamCopyFlush(stream);
 }
 
 namespace {
-
-/// Merge iterator over (window elements, sorted batch ops): yields the
-/// post-merge element stream in key order. Deletions drop elements,
-/// upserts replace or insert.
-class MergeIterator {
- public:
-  MergeIterator(const Storage& st, size_t seg_begin, size_t seg_end,
-                const std::vector<uint32_t>& input_card,
-                const std::vector<BatchEntry>& ops)
-      : st_(st),
-        seg_begin_(seg_begin),
-        seg_end_(seg_end),
-        input_card_(input_card),
-        ops_(ops) {
-    in_seg_ = seg_begin_;
-    AdvanceInputSegment();
-  }
-
-  /// Returns false when exhausted.
-  bool Next(Item* out) {
-    for (;;) {
-      const bool have_in = in_seg_ < seg_end_;
-      const bool have_op = op_idx_ < ops_.size();
-      if (!have_in && !have_op) return false;
-      if (have_in &&
-          (!have_op || CurrentInputKey() < ops_[op_idx_].key)) {
-        *out = st_.segment(in_seg_)[in_pos_];
-        AdvanceInput();
-        return true;
-      }
-      const BatchEntry& op = ops_[op_idx_];
-      const bool key_present = have_in && CurrentInputKey() == op.key;
-      ++op_idx_;
-      if (key_present) AdvanceInput();  // op supersedes the stored element
-      if (op.is_delete) continue;       // drop (or no-op if absent)
-      *out = {op.key, op.value};
-      return true;
-    }
-  }
-
- private:
-  Key CurrentInputKey() const { return st_.segment(in_seg_)[in_pos_].key; }
-
-  void AdvanceInput() {
-    ++in_pos_;
-    AdvanceInputSegment();
-  }
-
-  void AdvanceInputSegment() {
-    while (in_seg_ < seg_end_ &&
-           in_pos_ >= input_card_[in_seg_ - seg_begin_]) {
-      ++in_seg_;
-      in_pos_ = 0;
-    }
-  }
-
-  const Storage& st_;
-  size_t seg_begin_, seg_end_;
-  const std::vector<uint32_t>& input_card_;
-  const std::vector<BatchEntry>& ops_;
-  size_t in_seg_ = 0;
-  size_t in_pos_ = 0;
-  size_t op_idx_ = 0;
-};
 
 std::vector<uint32_t> SnapshotCards(const Storage& st, size_t seg_begin,
                                     size_t seg_end) {
@@ -261,29 +191,33 @@ size_t CountMerged(const Storage& st, size_t seg_begin, size_t seg_end,
                    size_t* deleted_found) {
   size_t existing = 0;
   for (size_t s = seg_begin; s < seg_end; ++s) existing += st.card(s);
-  // Walk ops against the window to classify each one.
+  // Classify each op by galloping: inside a segment the dispatched
+  // lower bound jumps straight to the op's key instead of stepping the
+  // cursor one element at a time (ops and elements are both sorted, so
+  // the cursor only ever moves right).
   size_t ins = 0, del = 0;
-  size_t in_seg = seg_begin, in_pos = 0;
-  auto skip_to = [&](Key key) {
-    // Advance the input cursor to the first element with key >= key.
-    for (;;) {
-      while (in_seg < seg_end && in_pos >= st.card(in_seg)) {
-        ++in_seg;
-        in_pos = 0;
+  size_t op_idx = 0;
+  const size_t num_ops = ops.size();
+  for (size_t s = seg_begin; s < seg_end && op_idx < num_ops; ++s) {
+    const Item* seg = st.segment(s);
+    const uint32_t card = st.card(s);
+    if (card == 0) continue;
+    const Key seg_last = seg[card - 1].key;
+    uint32_t pos = 0;
+    while (op_idx < num_ops && ops[op_idx].key <= seg_last) {
+      pos += static_cast<uint32_t>(
+          hotpath::SegmentLowerBound(seg + pos, card - pos, ops[op_idx].key));
+      const bool present = pos < card && seg[pos].key == ops[op_idx].key;
+      if (ops[op_idx].is_delete) {
+        if (present) ++del;
+      } else if (!present) {
+        ++ins;
       }
-      if (in_seg >= seg_end) return false;
-      if (st.segment(in_seg)[in_pos].key >= key) return true;
-      ++in_pos;
+      ++op_idx;
     }
-  };
-  for (const BatchEntry& op : ops) {
-    const bool present =
-        skip_to(op.key) && st.segment(in_seg)[in_pos].key == op.key;
-    if (op.is_delete) {
-      if (present) ++del;
-    } else if (!present) {
-      ++ins;
-    }
+  }
+  for (; op_idx < num_ops; ++op_idx) {  // keys above every stored key
+    if (!ops[op_idx].is_delete) ++ins;
   }
   if (inserted_new != nullptr) *inserted_new = ins;
   if (deleted_found != nullptr) *deleted_found = del;
@@ -314,19 +248,22 @@ WindowPlan PlanMergedSpread(const Storage& st, size_t seg_begin,
 
 void MergedCopyToBuffer(Storage* st, const WindowPlan& plan,
                         const std::vector<BatchEntry>& ops) {
-  MergeIterator it(*st, plan.seg_begin, plan.seg_end, plan.input_card, ops);
-  size_t written = 0;
+  const size_t n = plan.seg_end - plan.seg_begin;
+  const bool stream =
+      hotpath::StreamCopyPreferred(n * st->segment_bytes());
+  hotpath::SegmentedRunWriter writer(st->buffer_segment(plan.seg_begin),
+                                     st->segment_capacity(),
+                                     plan.target_card.data(), n, stream);
+  size_t op_idx = 0;
   for (size_t s = plan.seg_begin; s < plan.seg_end; ++s) {
-    Item* out = st->buffer_segment(s);
-    const uint32_t want = plan.target_card[s - plan.seg_begin];
-    for (uint32_t i = 0; i < want; ++i) {
-      CPMA_CHECK_MSG(it.Next(&out[i]), "merge stream shorter than plan");
-      ++written;
-    }
+    hotpath::MergeRunWithOps(st->segment(s),
+                             plan.input_card[s - plan.seg_begin], ops.data(),
+                             ops.size(), &op_idx, &writer);
   }
-  CPMA_CHECK(written == plan.total);
-  Item sink;
-  CPMA_CHECK_MSG(!it.Next(&sink), "merge stream longer than plan");
+  hotpath::EmitRemainingOps(ops.data(), ops.size(), &op_idx, &writer);
+  CPMA_CHECK_MSG(writer.written() == plan.total,
+                 "merge stream does not match plan");
+  hotpath::StreamCopyFlush(stream);  // drain before FinishSpread publishes
 }
 
 void MergedStreamInto(const Storage& old_st,
@@ -343,21 +280,23 @@ void MergedStreamInto(const Storage& old_st,
       target[j] = static_cast<uint32_t>(m / n + (j < m % n ? 1 : 0));
     }
   }
-  std::vector<uint32_t> cards =
-      SnapshotCards(old_st, 0, old_st.num_segments());
-  MergeIterator it(old_st, 0, old_st.num_segments(), cards, ops);
-  size_t written = 0;
-  for (size_t s = 0; s < n; ++s) {
-    Item* out = fresh->segment(s);
-    for (uint32_t i = 0; i < target[s]; ++i) {
-      CPMA_CHECK_MSG(it.Next(&out[i]), "resize merge shorter than expected");
-      ++written;
-    }
-    fresh->set_card(s, target[s]);
+  const bool stream = hotpath::StreamCopyPreferred(
+      n * fresh->segment_capacity() * sizeof(Item));
+  hotpath::SegmentedRunWriter writer(fresh->segment(0),
+                                     fresh->segment_capacity(), target.data(),
+                                     n, stream);
+  size_t op_idx = 0;
+  for (size_t s = 0; s < old_st.num_segments(); ++s) {
+    hotpath::MergeRunWithOps(old_st.segment(s), old_st.card(s), ops.data(),
+                             ops.size(), &op_idx, &writer);
   }
-  CPMA_CHECK(written == merged_total);
-  Item sink;
-  CPMA_CHECK_MSG(!it.Next(&sink), "resize merge longer than expected");
+  hotpath::EmitRemainingOps(ops.data(), ops.size(), &op_idx, &writer);
+  CPMA_CHECK_MSG(writer.written() == merged_total,
+                 "resize merge does not match expected total");
+  // Drain before the caller's release-store publishes the new snapshot
+  // (a release store does not order non-temporal stores).
+  hotpath::StreamCopyFlush(stream);
+  for (size_t s = 0; s < n; ++s) fresh->set_card(s, target[s]);
   fresh->RebuildRoutes(0, n);
 }
 

@@ -54,13 +54,9 @@ void FinishSpread(Storage* st, const WindowPlan& plan, bool swap = true);
 // updates into the window *during* the rebalance, skipping the per-update
 // small rebalances entirely.
 
-/// One canonical update of a batch: sorted by key, unique keys,
-/// deletions and upserts mixed.
-struct BatchEntry {
-  Key key;
-  Value value;
-  bool is_delete;
-};
+// BatchEntry (one canonical update: sorted by key, unique keys,
+// deletions and upserts mixed) lives in pma/item.h so the hot-path merge
+// kernels can consume batches too.
 
 /// Element count of window [seg_begin, seg_end) after merging `ops`.
 /// Also reports how many ops insert a new key / delete an existing one

@@ -143,11 +143,15 @@ TEST(HotpathSearch, PrefetchSegmentIsSafeOnAllCardinalities) {
   SUCCEED();
 }
 
-// ci.sh greps this test's output to report which kernel a run selected;
-// it also pins the dispatch contract: env override and missing CPU
-// support must both force the scalar path.
+// ci.sh and the scalar-fallback CI job grep this test's output to check
+// which kernels a run selected; it also pins the dispatch contract: env
+// override and missing CPU support must force the scalar path for EVERY
+// kernel family (search, rebalance copy, gate locate — they share one
+// CPUID + env decision).
 TEST(HotpathDispatch, ReportsActivePath) {
   const char* name = hotpath::ActiveDispatchName();
+  const char* copy_name = hotpath::ActiveCopyDispatchName();
+  const char* locate_name = hotpath::ActiveLocateDispatchName();
   EXPECT_TRUE(std::strcmp(name, "avx2") == 0 ||
               std::strcmp(name, "scalar") == 0);
   if (!hotpath::Avx2Supported() || hotpath::Avx2DisabledByEnv()) {
@@ -155,9 +159,13 @@ TEST(HotpathDispatch, ReportsActivePath) {
   } else {
     EXPECT_STREQ(name, "avx2");
   }
-  std::printf("[hotpath] dispatch=%s (avx2 supported=%d, disabled=%d)\n",
-              name, hotpath::Avx2Supported() ? 1 : 0,
-              hotpath::Avx2DisabledByEnv() ? 1 : 0);
+  EXPECT_STREQ(copy_name, name);
+  EXPECT_STREQ(locate_name, name);
+  std::printf(
+      "[hotpath] dispatch=%s search=%s copy=%s locate=%s "
+      "(avx2 supported=%d, disabled=%d)\n",
+      name, name, copy_name, locate_name, hotpath::Avx2Supported() ? 1 : 0,
+      hotpath::Avx2DisabledByEnv() ? 1 : 0);
 }
 
 }  // namespace

@@ -142,6 +142,154 @@ TEST(MergedStream, ResizeMergesIntoFreshStorage) {
   }
 }
 
+TEST(MergedCopy, EmptyBatchIsAPureSpread) {
+  Storage st(4, 8, true);
+  FillStorage(&st, {7, 1, 0, 2});  // keys 10..100
+  std::vector<BatchEntry> ops;  // empty batch: merge degenerates to spread
+  size_t ins = 0, del = 0;
+  const size_t total = CountMerged(st, 0, 4, ops, &ins, &del);
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(ins, 0u);
+  EXPECT_EQ(del, 0u);
+  WindowPlan plan = PlanMergedSpread(st, 0, 4, total);
+  MergedCopyToBuffer(&st, plan, ops);
+  FinishSpread(&st, plan);
+  auto got = Dump(st);
+  ASSERT_EQ(got.size(), 10u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].key, (i + 1) * 10);
+  }
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_GE(st.card(s), 2u);  // evenly re-spread
+    EXPECT_LE(st.card(s), 3u);
+  }
+}
+
+TEST(MergedCopy, BatchConfinedToOneSegment) {
+  // Every batch key lands inside segment 1's key range; the merge must
+  // still emit segments 0, 2, 3 as unbroken runs around it.
+  Storage st(4, 8, true);
+  FillStorage(&st, {4, 4, 4, 4});  // keys 10..160
+  std::vector<BatchEntry> ops = {
+      {51, 1, false},  // insert inside segment 1
+      {60, 9, false},  // upsert of an existing segment-1 key
+      {70, 0, true},   // delete a segment-1 key
+      {75, 2, false},  // insert inside segment 1
+  };
+  size_t ins = 0, del = 0;
+  const size_t total = CountMerged(st, 0, 4, ops, &ins, &del);
+  EXPECT_EQ(ins, 2u);
+  EXPECT_EQ(del, 1u);
+  EXPECT_EQ(total, 16u + 2u - 1u);
+  WindowPlan plan = PlanMergedSpread(st, 0, 4, total);
+  MergedCopyToBuffer(&st, plan, ops);
+  FinishSpread(&st, plan);
+  std::map<Key, Value> expect;
+  for (Key k = 10; k <= 160; k += 10) {
+    if (k != 70) expect[k] = k * 2;
+  }
+  expect[51] = 1;
+  expect[60] = 9;
+  expect[75] = 2;
+  auto got = Dump(st);
+  ASSERT_EQ(got.size(), expect.size());
+  auto it = expect.begin();
+  for (size_t i = 0; i < got.size(); ++i, ++it) {
+    EXPECT_EQ(got[i].key, it->first);
+    EXPECT_EQ(got[i].value, it->second);
+  }
+}
+
+TEST(CanonicalizeBatch, RandomisedAgainstMapOracle) {
+  // The stable-sort canonicalization must agree with the obvious
+  // last-write-wins map on arbitrary interleavings of ops per key.
+  Random rng(31);
+  for (int round = 0; round < 200; ++round) {
+    std::deque<GateOp> q;
+    std::map<Key, BatchEntry> oracle;
+    const int nops = static_cast<int>(rng.NextBounded(60));
+    for (int i = 0; i < nops; ++i) {
+      const Key k = rng.NextBounded(12);  // small domain: many duplicates
+      const bool is_del = rng.NextBounded(2) == 0;
+      const Value v = static_cast<Value>(i);
+      q.push_back({is_del ? GateOp::Type::kRemove : GateOp::Type::kInsert,
+                   k, v});
+      oracle[k] = BatchEntry{k, v, is_del};
+    }
+    auto batch = CanonicalizeBatch(q);
+    ASSERT_EQ(batch.size(), oracle.size()) << "round " << round;
+    auto it = oracle.begin();
+    for (size_t i = 0; i < batch.size(); ++i, ++it) {
+      ASSERT_EQ(batch[i].key, it->first) << "round " << round;
+      ASSERT_EQ(batch[i].is_delete, it->second.is_delete);
+      if (!batch[i].is_delete) {
+        ASSERT_EQ(batch[i].value, it->second.value);
+      }
+    }
+  }
+}
+
+TEST(ConcurrentBatch, AllDeletionsBatchTriggersShrink) {
+  // Async-batch mode: grow the array, then delete almost everything in
+  // one burst — the deletions must flow through the batch machinery,
+  // drop the global density below the shrink threshold and resize the
+  // array down, with the survivors intact.
+  ConcurrentConfig cfg;
+  cfg.pma.segment_capacity = 8;
+  cfg.segments_per_gate = 2;
+  cfg.async_mode = ConcurrentConfig::AsyncMode::kBatch;
+  cfg.t_delay_ms = 1;
+  ConcurrentPMA pma(cfg);
+  constexpr Key kN = 4000;
+  for (Key k = 1; k <= kN; ++k) pma.Insert(k, k);
+  pma.Flush();
+  const size_t grown_capacity = pma.capacity();
+  for (Key k = 1; k <= kN - 10; ++k) pma.Remove(k);
+  pma.Flush();
+  std::string err;
+  ASSERT_TRUE(pma.CheckInvariants(&err)) << err;
+  EXPECT_EQ(pma.Size(), 10u);
+  EXPECT_LT(pma.capacity(), grown_capacity);
+  EXPECT_GE(pma.num_resizes(), 2u);  // grew up, shrank back down
+  for (Key k = kN - 9; k <= kN; ++k) {
+    Value v = 0;
+    ASSERT_TRUE(pma.Find(k, &v)) << k;
+    EXPECT_EQ(v, k);
+  }
+  EXPECT_FALSE(pma.Find(1, nullptr));
+}
+
+TEST(ConcurrentBatch, DuplicateKeyLastWinsThroughBatchQueue) {
+  // Rapid upserts + deletes of the same keys in batch mode: whatever
+  // lands on the combining queue must canonicalize per key to the last
+  // op (CanonicalizeBatch) before the merged spread applies it.
+  ConcurrentConfig cfg;
+  cfg.pma.segment_capacity = 8;
+  cfg.segments_per_gate = 2;
+  cfg.async_mode = ConcurrentConfig::AsyncMode::kBatch;
+  cfg.t_delay_ms = 1;
+  ConcurrentPMA pma(cfg);
+  constexpr Key kKeys = 512;
+  for (int round = 0; round < 5; ++round) {
+    for (Key k = 1; k <= kKeys; ++k) {
+      if (round % 2 == 0) {
+        pma.Insert(k, k * 1000 + static_cast<Value>(round));
+      } else if (k % 2 == 0) {
+        pma.Remove(k);
+      }
+    }
+  }
+  pma.Flush();
+  std::string err;
+  ASSERT_TRUE(pma.CheckInvariants(&err)) << err;
+  for (Key k = 1; k <= kKeys; ++k) {
+    Value v = 0;
+    ASSERT_TRUE(pma.Find(k, &v)) << k;  // last round (4) re-inserted all
+    EXPECT_EQ(v, k * 1000 + 4);
+  }
+  EXPECT_EQ(pma.Size(), kKeys);
+}
+
 TEST(MergedStream, RandomisedAgainstStdMap) {
   Random rng(7);
   for (int round = 0; round < 50; ++round) {
