@@ -33,7 +33,16 @@ METRICS = {
 }
 
 # Record fields that never identify a workload (environment/noise).
-VOLATILE = {"git_sha", "dispatch", "seconds", "date", "items_per_rep"}
+# The storage/read-path observability fields (ISSUE 4: page size and
+# publish mechanism a run actually used, optimistic-path counters) are
+# measurements, not knobs — they must not split identities between runs
+# or between trees with/without the optimistic read path.
+VOLATILE = {
+    "git_sha", "dispatch", "seconds", "date", "items_per_rep",
+    "rewired", "rewiring_active", "page_bytes", "backing_page_bytes",
+    "num_remaps", "fallback_copies", "read_fallbacks",
+    "optimistic_gate_reads", "optimistic_retries",
+}
 
 
 def load_records(path):

@@ -44,9 +44,16 @@ CPMA_DISABLE_AVX2=1 ctest --test-dir build -L unit \
   --output-on-failure --parallel "$JOBS"
 
 if [[ "$FAST" == 1 ]]; then
-  echo "--fast: skipping sanitizer stages"
+  echo "--fast: skipping bench gate + sanitizer stages"
   exit 0
 fi
+
+# Bench regression gate (ISSUE 4): CI-scale read-path + rebalance runs
+# compared against the committed bench/baseline/*.json; >10% throughput
+# regression fails the pipeline (scripts/bench_gate.sh --update to
+# rebaseline after intentional changes or on new hardware).
+stage "bench regression gate (scripts/bench_diff.py --check)"
+scripts/bench_gate.sh
 
 stage "configure + build (asan+ubsan)"
 cmake --preset asan

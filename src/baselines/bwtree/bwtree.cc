@@ -66,15 +66,24 @@ uint64_t BwTree::RouteTo(Key key) const {
   return it->second;
 }
 
-bool BwTree::TryPrepend(uint64_t node_id, Delta* delta) {
-  void* head = mapping_[node_id].load(std::memory_order_acquire);
-  delta->next = head;
-  const auto* h = static_cast<const NodeHeader*>(head);
+bool BwTree::TryPrepend(uint64_t node_id, const void* validated_head,
+                        Delta* delta) {
+  // CAS against the SAME head the caller fence-validated. Re-loading
+  // here used to open a lost-update window: a split could replace the
+  // node between the caller's fence check and the prepend, landing the
+  // delta on a node whose fences no longer cover its key — a stray
+  // delete delta on the stale lower node then merges away silently at
+  // the next consolidation (its key now lives in the upper node), which
+  // was the intermittent wrong-value/lost-delete in
+  // OrderedMapConformance.ConcurrentDisjointWritersWithScans.
+  delta->next = validated_head;
+  const auto* h = static_cast<const NodeHeader*>(validated_head);
   delta->depth = h->kind == NodeHeader::Kind::kBase
                      ? 1
-                     : static_cast<const Delta*>(head)->depth + 1;
+                     : static_cast<const Delta*>(validated_head)->depth + 1;
+  void* expected = const_cast<void*>(validated_head);
   return mapping_[node_id].compare_exchange_strong(
-      head, delta, std::memory_order_acq_rel);
+      expected, delta, std::memory_order_acq_rel);
 }
 
 void BwTree::Materialize(const void* head, std::vector<Item>* out) {
@@ -161,7 +170,7 @@ void BwTree::Insert(Key key, Value value) {
     auto* delta = new Delta();
     delta->kind = NodeHeader::Kind::kInsertDelta;
     delta->item = {key, value};
-    if (!TryPrepend(id, delta)) {
+    if (!TryPrepend(id, head, delta)) {
       delete delta;
       continue;
     }
@@ -179,7 +188,8 @@ void BwTree::Remove(Key key) {
   EpochGuard guard(gc_);
   for (;;) {
     const uint64_t id = RouteTo(key);
-    const void* cur = mapping_[id].load(std::memory_order_acquire);
+    const void* head = mapping_[id].load(std::memory_order_acquire);
+    const void* cur = head;
     while (static_cast<const NodeHeader*>(cur)->kind !=
            NodeHeader::Kind::kBase) {
       cur = static_cast<const Delta*>(cur)->next;
@@ -192,7 +202,7 @@ void BwTree::Remove(Key key) {
     auto* delta = new Delta();
     delta->kind = NodeHeader::Kind::kDeleteDelta;
     delta->item = {key, 0};
-    if (!TryPrepend(id, delta)) {
+    if (!TryPrepend(id, head, delta)) {
       delete delta;
       continue;
     }

@@ -64,8 +64,11 @@ class BwTree : public OrderedMap {
   /// Node id owning `key` (via the routing map).
   uint64_t RouteTo(Key key) const;
 
-  /// CAS-prepend a delta; returns the delta's `next` chain on success.
-  bool TryPrepend(uint64_t node_id, Delta* delta);
+  /// CAS `delta` onto the chain, against the head the caller already
+  /// fence-validated (never a fresh re-load: see the comment in the
+  /// implementation for the split race that allows).
+  bool TryPrepend(uint64_t node_id, const void* validated_head,
+                  Delta* delta);
 
   /// Merge base + deltas into a sorted vector (replay).
   static void Materialize(const void* head, std::vector<Item>* out);

@@ -1,0 +1,78 @@
+// Tagged kernels for the optimistic gate read path (ISSUE 4): the same
+// segment search / gate locate / item accesses the latched paths use,
+// but safe to run on storage a latched writer is mutating concurrently.
+//
+// Production builds forward straight to the dispatched SIMD kernels —
+// the reads race, the per-word tearing they can observe is bounded
+// (every load is a whole key or value), and the gate's SeqVersion
+// validation discards any window that overlapped a mutation. Under TSan
+// (CPMA_TSAN, see common/tagged.h) the bulk/SIMD reads are replaced by
+// per-word relaxed-atomic equivalents so the race is expressed as
+// atomics and `ctest -L concurrent` stays clean without suppressions.
+
+#pragma once
+
+#include "common/hotpath/locate.h"
+#include "common/hotpath/search.h"
+#include "common/tagged.h"
+#include "pma/item.h"
+
+namespace cpma::hotpath {
+
+/// One racing item, loaded word-by-word (two plain movs in production).
+inline Item TaggedLoadItem(const Item* p) {
+  return Item{TaggedLoad(&p->key), TaggedLoad(&p->value)};
+}
+
+/// Writer-side single-item store under an odd gate version.
+inline void TaggedStoreItem(Item* p, Item v) {
+  TaggedStore(&p->key, v.key);
+  TaggedStore(&p->value, v.value);
+}
+
+/// Writer-side segment shift (the insert/remove memmove) under an odd
+/// gate version; overlap-safe.
+inline void TaggedMoveItems(Item* dst, const Item* src, size_t n) {
+  TaggedMoveWords(dst, src, n * sizeof(Item));
+}
+
+/// Reader-side copy of a racing segment into private memory (optimistic
+/// scans stage a chunk before validating).
+inline void TaggedReadItems(Item* dst, const Item* src, size_t n) {
+  TaggedReadWords(dst, src, n * sizeof(Item));
+}
+
+/// Optimistic-path segment lower bound: the dispatched SIMD kernel in
+/// production, the branchless scalar loop with tagged loads under TSan.
+inline size_t TaggedSegmentLowerBound(const Item* seg, uint32_t card,
+                                      Key key) {
+#if CPMA_TSAN
+  const Item* base = seg;
+  size_t len = card;
+  while (len > 1) {
+    const size_t half = len / 2;
+    base += static_cast<size_t>(TaggedLoad(&base[half - 1].key) < key) * half;
+    len -= half;
+  }
+  return static_cast<size_t>(base - seg) +
+         ((card > 0 && TaggedLoad(&base->key) < key) ? 1 : 0);
+#else
+  return SegmentLowerBound(seg, card, key);
+#endif
+}
+
+/// Optimistic-path gate locate: rightmost route <= key over the chunk's
+/// routing-key slice (see locate.h), tagged under TSan.
+inline size_t TaggedLocateRoute(const Key* routes, size_t n, Key key) {
+#if CPMA_TSAN
+  size_t best = kNoRoute;
+  for (size_t i = 0; i < n; ++i) {
+    best = TaggedLoad(routes + i) <= key ? i : best;  // cmov
+  }
+  return best;
+#else
+  return LocateRoute(routes, n, key);
+#endif
+}
+
+}  // namespace cpma::hotpath

@@ -2,6 +2,11 @@
 //
 // - SpinLock: tiny test-and-test-and-set lock for very short critical
 //   sections (baseline internals, free lists).
+// - SeqVersion: sequence-lock version word for the gates' optimistic
+//   read path (§3.1 extension, ISSUE 4). Unlike OptimisticLock below it
+//   carries no lock/obsolete bits — the gate's mutex-based state machine
+//   stays the writer-side arbiter; the version word only *publishes*
+//   whether a mutator holds the chunk.
 // - OptimisticLock: version-based latch for Optimistic Lock Coupling
 //   (Leis et al., DaMoN'16); used by the ART and Masstree baselines.
 //   Readers snapshot a version, do their work, then validate; writers
@@ -44,6 +49,55 @@ class SpinLock {
 
  private:
   std::atomic<bool> flag_{false};
+};
+
+/// Sequence-lock version word (ISSUE 4): even = no mutator, odd = a
+/// mutator (gate writer or rebalancer master) owns the protected data.
+/// Optimistic readers snapshot an even version, read the data with
+/// tagged accesses (common/tagged.h), then validate that the version is
+/// unchanged; mutators wrap their critical section in BeginMutate /
+/// EndMutate.
+///
+/// Memory-ordering argument (the classic seqlock recipe, Boehm MSPC'12):
+///
+///  - BeginMutate is a fetch_add(1, acq_rel). Its acquire half forbids
+///    the mutator's subsequent data stores from being reordered before
+///    the word turns odd, so no reader can observe new data under an old
+///    even version.
+///  - EndMutate is a fetch_add(1, release): all data stores are visible
+///    before the word turns even again.
+///  - ReadBegin is an acquire load: the reader's data loads cannot float
+///    above it. If it returns the value EndMutate published, it
+///    synchronizes-with that release, so the mutator's stores are
+///    visible.
+///  - Validate issues an acquire fence *before* re-loading the word:
+///    the fence orders every data load before the re-load (LoadLoad |
+///    LoadStore), so a data load cannot be satisfied after a mutation
+///    that the equality check then misses. Equality of the exact value
+///    (not just parity) rejects any intervening mutation.
+class SeqVersion {
+ public:
+  /// Snapshot for an optimistic read; check Stable() before using data.
+  uint64_t ReadBegin() const {
+    return v_.load(std::memory_order_acquire);
+  }
+
+  static bool Stable(uint64_t v) { return (v & 1) == 0; }
+
+  /// True iff no mutation started or completed since `expected` was
+  /// returned by ReadBegin (callers pass a Stable value).
+  bool Validate(uint64_t expected) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return v_.load(std::memory_order_relaxed) == expected;
+  }
+
+  /// Mutator protocol: the caller must already hold exclusive ownership
+  /// of the data (gate state machine); these only publish that fact.
+  void BeginMutate() { v_.fetch_add(1, std::memory_order_acq_rel); }
+  void EndMutate() { v_.fetch_add(1, std::memory_order_release); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
 };
 
 /// Writer-preferring shared/exclusive spin latch.

@@ -1,6 +1,10 @@
 #include "concurrent/concurrent_pma.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <sstream>
@@ -8,6 +12,7 @@
 
 #include "common/hotpath/locate.h"
 #include "common/hotpath/search.h"
+#include "common/hotpath/tagged.h"
 #include "common/timer.h"
 #include "concurrent/rebalancer.h"
 #include "pma/density.h"
@@ -60,6 +65,24 @@ ConcurrentPMA::ConcurrentPMA(const ConcurrentConfig& config) : cfg_(config) {
   CPMA_CHECK(cfg_.segments_per_gate >= 2);
   CPMA_CHECK(IsPowerOfTwo(cfg_.pma.segment_capacity));
   CPMA_CHECK(cfg_.pma.segment_capacity >= 4);
+  optimistic_retries_ = cfg_.optimistic_retries;
+  if (const char* env = std::getenv("CPMA_OPTIMISTIC_RETRIES")) {
+    // Strict parse: a typo silently becoming 0 would turn the whole
+    // optimistic read path off and masquerade as a perf regression.
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && errno == 0 && v >= 0 &&
+        v <= INT_MAX) {
+      optimistic_retries_ = static_cast<int>(v);
+    } else if (*env != '\0') {
+      std::fprintf(stderr,
+                   "cpma: ignoring invalid CPMA_OPTIMISTIC_RETRIES=%s "
+                   "(want a non-negative integer); using %d\n",
+                   env, optimistic_retries_);
+    }
+  }
+  if (optimistic_retries_ < 0) optimistic_retries_ = 0;
   snapshot_.store(BuildInitialSnapshot(), std::memory_order_release);
   rebalancer_ = std::make_unique<Rebalancer>(this, cfg_.rebalancer_workers);
   rebalancer_->Start();
@@ -281,7 +304,10 @@ bool ConcurrentPMA::ApplyOpLocal(Snapshot* snap, Gate* gate, const GateOp& op,
     const uint32_t card = st->card(s);
     const size_t pos = hotpath::SegmentLowerBoundForUpdate(seg, card, op.key);
     if (pos >= card || seg[pos].key != op.key) return true;  // absent
-    std::memmove(seg + pos, seg + pos + 1, (card - pos - 1) * sizeof(Item));
+    // All live-item stores below are tagged: the gate version is odd
+    // (we hold WRITE), but optimistic readers may race through here and
+    // TSan must see the race as atomics (common/tagged.h).
+    hotpath::TaggedMoveItems(seg + pos, seg + pos + 1, card - pos - 1);
     st->set_card(s, card - 1);
     count_.fetch_sub(1, std::memory_order_relaxed);
     if (pos == 0 && s > 0) {
@@ -298,12 +324,12 @@ bool ConcurrentPMA::ApplyOpLocal(Snapshot* snap, Gate* gate, const GateOp& op,
     const uint32_t card = st->card(s);
     const size_t pos = hotpath::SegmentLowerBoundForUpdate(seg, card, op.key);
     if (pos < card && seg[pos].key == op.key) {
-      seg[pos].value = op.value;  // upsert
+      TaggedStore(&seg[pos].value, op.value);  // upsert
       return true;
     }
     if (card < B) {
-      std::memmove(seg + pos + 1, seg + pos, (card - pos) * sizeof(Item));
-      seg[pos] = {op.key, op.value};
+      hotpath::TaggedMoveItems(seg + pos + 1, seg + pos, card - pos);
+      hotpath::TaggedStoreItem(seg + pos, Item{op.key, op.value});
       st->set_card(s, card + 1);
       if (pos == 0 && s > 0) st->set_route(s, op.key);
       st->bump_insert_count(s);
@@ -468,12 +494,96 @@ void ConcurrentPMA::MaybeRequestShrink(Snapshot* snap) {
 }
 
 // ---------------------------------------------------------------- reads
+//
+// All three readers (Find, SumAll, Scan) are optimistic-first: descend
+// the static index, snapshot the gate's seqlock version, read the live
+// storage with tagged accesses, validate. The blocking READ-latch path
+// survives as the per-gate fallback after `optimistic_retries_` failed
+// windows (0 = always blocking; CPMA_OPTIMISTIC_RETRIES env override).
+// Protocol and ordering argument: concurrent_pma.h / common/latches.h.
+
+size_t ConcurrentPMA::LocateSegmentOptimistic(const Snapshot& snap,
+                                              const Gate& gate,
+                                              Key key) const {
+  // Same routing contract as LocateSegment (see its comment), but with
+  // tagged route loads: on a racing rebalance the slice may be torn,
+  // which can only misdirect the search inside the chunk — the caller's
+  // version validation then rejects the window.
+  const Storage& st = *snap.storage;
+  const size_t idx =
+      hotpath::TaggedLocateRoute(st.routes().data() + gate.seg_begin(),
+                                 gate.seg_end() - gate.seg_begin(), key);
+  if (idx != hotpath::kNoRoute) return gate.seg_begin() + idx;
+  for (size_t s = gate.seg_begin(); s < gate.seg_end(); ++s) {
+    if (st.card(s) > 0) return s;
+  }
+  return gate.seg_begin();
+}
+
+ConcurrentPMA::OptRead ConcurrentPMA::TryOptimisticFind(const Snapshot& snap,
+                                                        Key key,
+                                                        Value* value) const {
+  const Storage& st = *snap.storage;
+  const uint32_t B = static_cast<uint32_t>(st.segment_capacity());
+  size_t gid = snap.index->Lookup(key);
+  for (int attempt = 0; attempt < optimistic_retries_; ++attempt) {
+    const Gate& gate = snap.gates[gid];
+    const uint64_t v = gate.version().ReadBegin();
+    if (!SeqVersion::Stable(v)) continue;  // mutator active on this gate
+    if (gate.invalidated_relaxed()) return OptRead::kRestart;
+    const Key lo = gate.low_fence();
+    const Key hi = gate.high_fence();
+    if (key < lo || key > hi) {
+      // Only a validated version proves [lo, hi] was read untorn;
+      // then the neighbour walk is as sound as the latched one. A walk
+      // burns an attempt, which bounds fence ping-pong under churn.
+      if (!gate.version().Validate(v)) continue;
+      if (key < lo) {
+        if (gid == 0) return OptRead::kFallback;
+        --gid;
+      } else {
+        if (gid + 1 >= snap.num_gates()) return OptRead::kFallback;
+        ++gid;
+      }
+      continue;
+    }
+    const size_t s = LocateSegmentOptimistic(snap, gate, key);
+    const Item* seg = st.segment(s);
+    // Clamp a (possibly racing) cardinality so the search never leaves
+    // the segment; any stored card is <= B, the min is belt-and-braces.
+    const uint32_t card = std::min(st.card(s), B);
+    const size_t pos = hotpath::TaggedSegmentLowerBound(seg, card, key);
+    Item it{kKeySentinel, 0};
+    if (pos < card) it = hotpath::TaggedLoadItem(seg + pos);
+    if (!gate.version().Validate(v)) continue;
+    // Stable window: the lookup linearizes at the validation point.
+    if (it.key == key) {
+      if (value != nullptr) *value = it.value;
+      return OptRead::kHit;
+    }
+    return OptRead::kMiss;
+  }
+  return OptRead::kFallback;
+}
 
 bool ConcurrentPMA::Find(Key key, Value* value) const {
   CPMA_CHECK_MSG(key <= kKeyMax, "key out of domain (UINT64_MAX reserved)");
   EpochGuard guard(gc_);
   for (;;) {
     Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+    switch (TryOptimisticFind(*snap, key, value)) {
+      case OptRead::kHit:
+        return true;
+      case OptRead::kMiss:
+        return false;
+      case OptRead::kRestart:
+        guard.Refresh();
+        continue;
+      case OptRead::kFallback:
+        break;
+    }
+    stat_read_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    // Blocking fallback: the pre-optimistic READ-latch protocol.
     size_t gid = snap->index->Lookup(key);
     GateAccess a;
     Gate* gate;
@@ -506,8 +616,52 @@ bool ConcurrentPMA::Find(Key key, Value* value) const {
   }
 }
 
+ConcurrentPMA::OptGate ConcurrentPMA::TryOptimisticGateSum(
+    const Snapshot& snap, const Gate& gate, Key cursor, bool have_cursor,
+    uint64_t* sum_out, Key* gate_high) const {
+  const Storage& st = *snap.storage;
+  const uint32_t B = static_cast<uint32_t>(st.segment_capacity());
+  for (int attempt = 0; attempt < optimistic_retries_; ++attempt) {
+    const uint64_t v = gate.version().ReadBegin();
+    if (!SeqVersion::Stable(v)) continue;
+    if (gate.invalidated_relaxed()) return OptGate::kRestart;
+    const Key hi = gate.high_fence();
+    uint64_t local = 0;
+    bool ok = true;
+    for (size_t s = gate.seg_begin(); s < gate.seg_end(); ++s) {
+      if (s + 1 < gate.seg_end()) {
+        hotpath::PrefetchSegment(st.segment(s + 1), st.card(s + 1));
+      }
+      const Item* seg = st.segment(s);
+      const uint32_t card = std::min(st.card(s), B);
+      uint32_t i = 0;
+      if (have_cursor) {
+        i = static_cast<uint32_t>(
+            hotpath::TaggedSegmentLowerBound(seg, card, cursor));
+        if (i < card && TaggedLoad(&seg[i].key) == cursor) ++i;  // after
+      }
+      for (; i < card; ++i) local += TaggedLoad(&seg[i].value);
+      // Segment-copy granularity: one failed window discards at most
+      // one segment's worth of torn accumulation.
+      if (!gate.version().Validate(v)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    stat_optimistic_gate_reads_.fetch_add(1, std::memory_order_relaxed);
+    *sum_out = local;
+    *gate_high = hi;
+    return OptGate::kOk;
+  }
+  return OptGate::kFallback;
+}
+
 uint64_t ConcurrentPMA::SumAll() const {
   uint64_t sum = 0;
+  // The cursor is the last *validated* fence key: everything <= cursor
+  // is already folded, so restarts and fallbacks resume without
+  // re-reading chunks that validated.
   Key cursor = 0;
   bool have_cursor = false;
   EpochGuard guard(gc_);
@@ -518,33 +672,113 @@ uint64_t ConcurrentPMA::SumAll() const {
     bool restart = false;
     for (; gid < snap->num_gates(); ++gid) {
       Gate* gate = &snap->gates[gid];
-      if (gate->ReaderAccess(nullptr) == GateAccess::kInvalidated) {
+      uint64_t gate_sum = 0;
+      Key gate_high = kKeySentinel;
+      const OptGate r = TryOptimisticGateSum(*snap, *gate, cursor,
+                                             have_cursor, &gate_sum,
+                                             &gate_high);
+      if (r == OptGate::kRestart) {
         guard.Refresh();
         restart = true;
         break;
       }
-      for (size_t s = gate->seg_begin(); s < gate->seg_end(); ++s) {
-        // Prefetch stays inside the held gate: card(s+1) in a foreign
-        // gate would be an unlatched read (a data race with its writer).
-        if (s + 1 < gate->seg_end()) {
-          hotpath::PrefetchSegment(st.segment(s + 1), st.card(s + 1));
+      if (r == OptGate::kFallback) {
+        stat_read_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        if (gate->ReaderAccess(nullptr) == GateAccess::kInvalidated) {
+          guard.Refresh();
+          restart = true;
+          break;
         }
-        const Item* seg = st.segment(s);
-        const uint32_t card = st.card(s);
-        uint32_t i = 0;
-        if (have_cursor) {
-          i = static_cast<uint32_t>(SegmentLowerBound(seg, card, cursor));
-          if (i < card && seg[i].key == cursor) ++i;  // strictly after
+        gate_sum = 0;
+        for (size_t s = gate->seg_begin(); s < gate->seg_end(); ++s) {
+          // Prefetch stays inside the gate: card(s+1) in a foreign gate
+          // would race with its writer outside any validated window.
+          if (s + 1 < gate->seg_end()) {
+            hotpath::PrefetchSegment(st.segment(s + 1), st.card(s + 1));
+          }
+          const Item* seg = st.segment(s);
+          const uint32_t card = st.card(s);
+          uint32_t i = 0;
+          if (have_cursor) {
+            i = static_cast<uint32_t>(SegmentLowerBound(seg, card, cursor));
+            if (i < card && seg[i].key == cursor) ++i;  // strictly after
+          }
+          for (; i < card; ++i) gate_sum += seg[i].value;
         }
-        for (; i < card; ++i) {
-          sum += seg[i].value;
-          cursor = seg[i].key;
-          have_cursor = true;
-        }
+        gate_high = gate->high_fence();
+        gate->ReaderRelease();
       }
-      gate->ReaderRelease();
+      sum += gate_sum;
+      // Advance-only: a stale index descent after a restart can land
+      // left of the cursor's gate, whose high fence is smaller — moving
+      // the cursor backwards would re-admit already-folded keys.
+      if (!have_cursor || gate_high > cursor) cursor = gate_high;
+      have_cursor = true;
     }
     if (!restart) return sum;
+  }
+}
+
+ConcurrentPMA::OptGate ConcurrentPMA::TryOptimisticGateCopy(
+    const Snapshot& snap, const Gate& gate, Key cursor, Key max,
+    std::vector<Item>* out, Key* gate_high) const {
+  const Storage& st = *snap.storage;
+  const uint32_t B = static_cast<uint32_t>(st.segment_capacity());
+  for (int attempt = 0; attempt < optimistic_retries_; ++attempt) {
+    const uint64_t v = gate.version().ReadBegin();
+    if (!SeqVersion::Stable(v)) continue;
+    if (gate.invalidated_relaxed()) return OptGate::kRestart;
+    const Key hi = gate.high_fence();
+    out->clear();
+    bool ok = true;
+    for (size_t s = gate.seg_begin(); s < gate.seg_end(); ++s) {
+      if (s + 1 < gate.seg_end()) {
+        hotpath::PrefetchSegment(st.segment(s + 1), st.card(s + 1));
+      }
+      const Item* seg = st.segment(s);
+      const uint32_t card = std::min(st.card(s), B);
+      // Stage only [cursor, ...]: a narrow range scan must not pay a
+      // whole-chunk copy (the pre-optimistic path emitted from the
+      // per-segment lower bound too).
+      const uint32_t i0 = static_cast<uint32_t>(
+          hotpath::TaggedSegmentLowerBound(seg, card, cursor));
+      if (i0 < card) {
+        const size_t base = out->size();
+        out->resize(base + (card - i0));
+        hotpath::TaggedReadItems(out->data() + base, seg + i0, card - i0);
+      }
+      // Segment-copy granularity: a failed window never stages more
+      // than one segment of torn data before being discarded.
+      if (!gate.version().Validate(v)) {
+        ok = false;
+        break;
+      }
+      // Validated tail already past `max`: later segments only hold
+      // greater keys, stop staging (the emitter trims the overshoot).
+      if (!out->empty() && out->back().key > max) break;
+    }
+    if (!ok) continue;
+    stat_optimistic_gate_reads_.fetch_add(1, std::memory_order_relaxed);
+    *gate_high = hi;
+    return OptGate::kOk;
+  }
+  return OptGate::kFallback;
+}
+
+void ConcurrentPMA::CopyGateLatched(const Snapshot& snap, const Gate& gate,
+                                    Key cursor, Key max,
+                                    std::vector<Item>* out) const {
+  const Storage& st = *snap.storage;
+  out->clear();
+  for (size_t s = gate.seg_begin(); s < gate.seg_end(); ++s) {
+    if (s + 1 < gate.seg_end()) {
+      hotpath::PrefetchSegment(st.segment(s + 1), st.card(s + 1));
+    }
+    const Item* seg = st.segment(s);
+    const uint32_t card = st.card(s);
+    const size_t i0 = SegmentLowerBound(seg, card, cursor);
+    out->insert(out->end(), seg + i0, seg + card);
+    if (!out->empty() && out->back().key > max) break;
   }
 }
 
@@ -553,46 +787,91 @@ void ConcurrentPMA::Scan(Key min, Key max, const ScanCallback& cb) const {
   Key cursor = min;
   bool consumed_cursor = false;  // true once `cursor` itself was emitted
   EpochGuard guard(gc_);
+  // One gate's chunk, staged before emission: user callbacks run on the
+  // private copy, outside every latch and validation window, in both
+  // the optimistic and the fallback mode.
+  std::vector<Item> chunk;
   for (;;) {
     Snapshot* snap = snapshot_.load(std::memory_order_acquire);
-    const Storage& st = *snap->storage;
     size_t gid = snap->index->Lookup(cursor);
     bool restart = false;
     for (; gid < snap->num_gates(); ++gid) {
       Gate* gate = &snap->gates[gid];
-      if (gate->ReaderAccess(nullptr) == GateAccess::kInvalidated) {
+      Key gate_high = kKeySentinel;
+      const OptGate r =
+          TryOptimisticGateCopy(*snap, *gate, cursor, max, &chunk,
+                                &gate_high);
+      if (r == OptGate::kRestart) {
         guard.Refresh();
         restart = true;
         break;
       }
-      for (size_t s = gate->seg_begin(); s < gate->seg_end(); ++s) {
-        // Prefetch stays inside the held gate: card(s+1) in a foreign
-        // gate would be an unlatched read (a data race with its writer).
-        if (s + 1 < gate->seg_end()) {
-          hotpath::PrefetchSegment(st.segment(s + 1), st.card(s + 1));
+      if (r == OptGate::kFallback) {
+        stat_read_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        if (gate->ReaderAccess(nullptr) == GateAccess::kInvalidated) {
+          guard.Refresh();
+          restart = true;
+          break;
         }
-        const Item* seg = st.segment(s);
-        const uint32_t card = st.card(s);
-        uint32_t i =
-            static_cast<uint32_t>(SegmentLowerBound(seg, card, cursor));
-        if (consumed_cursor && i < card && seg[i].key == cursor) ++i;
-        for (; i < card; ++i) {
-          if (seg[i].key > max) {
-            gate->ReaderRelease();
-            return;
-          }
-          if (!cb(seg[i].key, seg[i].value)) {
-            gate->ReaderRelease();
-            return;
-          }
-          cursor = seg[i].key;
-          consumed_cursor = true;
-        }
+        CopyGateLatched(*snap, *gate, cursor, max, &chunk);
+        gate_high = gate->high_fence();
+        gate->ReaderRelease();
       }
-      gate->ReaderRelease();
+      // Emit from the staged (validated or latched) copy.
+      size_t i = static_cast<size_t>(
+          std::lower_bound(chunk.begin(), chunk.end(), cursor,
+                           [](const Item& a, Key k) { return a.key < k; }) -
+          chunk.begin());
+      if (consumed_cursor && i < chunk.size() && chunk[i].key == cursor) {
+        ++i;
+      }
+      for (; i < chunk.size(); ++i) {
+        if (chunk[i].key > max) return;
+        if (!cb(chunk[i].key, chunk[i].value)) return;
+        cursor = chunk[i].key;
+        consumed_cursor = true;
+      }
+      if (gate_high >= max) return;  // gates right of here exceed max
+      // Resume from the validated fence: the next gate's keys are all
+      // greater, and a restart re-enters past this chunk. Advance-only
+      // (see SumAll): never move the cursor backwards off a stale gate.
+      if (gate_high > cursor || (!consumed_cursor && gate_high == cursor)) {
+        cursor = gate_high;
+        consumed_cursor = true;
+      }
     }
     if (!restart) return;
   }
+}
+
+// ------------------------------------------------- storage observability
+
+bool ConcurrentPMA::storage_rewiring_enabled() const {
+  EpochGuard guard(gc_);
+  return snapshot_.load(std::memory_order_acquire)
+      ->storage->rewiring_enabled();
+}
+
+size_t ConcurrentPMA::storage_page_bytes() const {
+  EpochGuard guard(gc_);
+  return snapshot_.load(std::memory_order_acquire)->storage->page_bytes();
+}
+
+size_t ConcurrentPMA::storage_backing_page_bytes() const {
+  EpochGuard guard(gc_);
+  return snapshot_.load(std::memory_order_acquire)
+      ->storage->backing_page_bytes();
+}
+
+uint64_t ConcurrentPMA::storage_num_remaps() const {
+  EpochGuard guard(gc_);
+  return snapshot_.load(std::memory_order_acquire)->storage->num_remaps();
+}
+
+uint64_t ConcurrentPMA::storage_num_fallback_copies() const {
+  EpochGuard guard(gc_);
+  return snapshot_.load(std::memory_order_acquire)
+      ->storage->num_fallback_copies();
 }
 
 // ------------------------------------------------------------- lifecycle

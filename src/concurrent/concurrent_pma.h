@@ -6,7 +6,7 @@
 //   epoch-based GC for resizes              §3.4  common/epoch_gc.h
 //   asynchronous updates (local combining)  §3.5  here + gate.h
 //
-// Client protocol (both readers and writers hold at most one latch):
+// Writer protocol (writers hold at most one latch):
 //   1. enter an epoch; load the current snapshot (storage+gates+index);
 //   2. traverse the static index without latches -> candidate gate;
 //   3. acquire the gate latch; the fence keys decide whether the key
@@ -15,6 +15,32 @@
 //      and restart from the new snapshot;
 //   5. writers finding an active writer on the gate append their update
 //      to its combining queue and return (async modes).
+//
+// Reader protocol (ISSUE 4 — optimistic, normally latch-free): readers
+// run the same descent but, instead of taking the READ latch, snapshot
+// the gate's sequence-lock version word (gate.h (f)):
+//   1. enter an epoch; load the snapshot; index descent -> candidate;
+//   2. read the gate version; if odd (writer/rebalancer active), retry;
+//   3. check `invalidated`: a retired gate means refresh + restart;
+//   4. read the fence keys and — only after re-validating the version,
+//      which proves the [low, high] pair was untorn — walk to the
+//      neighbour gate on mismatch, exactly like the latched descent;
+//   5. run the SIMD segment search / scan copy directly on the live
+//      storage with tagged accesses (common/tagged.h); multi-gate scans
+//      stage one chunk at a time and re-validate at *segment-copy*
+//      granularity so a failed window discards at most one segment;
+//   6. validate the version; on success the read linearizes at the
+//      validation point. On failure retry; after
+//      `ConcurrentConfig::optimistic_retries` failed windows per gate
+//      (env override CPMA_OPTIMISTIC_RETRIES; 0 forces fallback) fall
+//      back to the blocking READ latch — the pre-ISSUE-4 path, kept
+//      bit-for-bit so the forced-fallback mode is the old protocol.
+// Scans resume from the last *validated* fence key: a gate that
+// validates contributes its whole chunk and advances the cursor to its
+// high fence, so a restart (resize) or fallback never re-reads chunks
+// that already validated. Epoch pinning keeps a rewired/retired storage
+// alive across the validation window, so torn reads are bounded but
+// never wild. Memory-ordering argument: SeqVersion in common/latches.h.
 //
 // Updates may therefore complete asynchronously; Flush() waits until all
 // queued work (including rebalancer batches) has been applied.
@@ -33,6 +59,11 @@
 #include "concurrent/static_index.h"
 #include "pma/config.h"
 #include "pma/storage.h"
+
+// Feature macro: lets externally grafted sources (the pre/post bench
+// drivers in BENCH_*.json methodology) compile against trees with and
+// without the optimistic read path.
+#define CPMA_OPTIMISTIC_READ_PATH 1
 
 namespace cpma {
 
@@ -93,6 +124,33 @@ class ConcurrentPMA : public OrderedMap {
     return stat_batches_.load(std::memory_order_relaxed);
   }
 
+  /// Times a read (Find, or one gate of a Scan/SumAll) exhausted its
+  /// optimistic retry budget and took the blocking READ latch. Zero
+  /// under quiescence proves the optimistic path carried every read;
+  /// the forced-fallback mode (retry budget 0) counts every read here.
+  uint64_t num_read_fallbacks() const {
+    return stat_read_fallbacks_.load(std::memory_order_relaxed);
+  }
+
+  /// Gate chunks served latch-free by validated optimistic scan windows
+  /// (Scan/SumAll; Find avoids a shared counter on its hot path).
+  uint64_t num_optimistic_gate_reads() const {
+    return stat_optimistic_gate_reads_.load(std::memory_order_relaxed);
+  }
+
+  /// Effective per-gate optimistic retry budget (config, possibly
+  /// overridden by CPMA_OPTIMISTIC_RETRIES at construction).
+  int optimistic_retries() const { return optimistic_retries_; }
+
+  // Storage observability (ROADMAP huge-page visibility): what publish
+  // mechanism and page size the current snapshot actually uses, for
+  // bench JSON records.
+  bool storage_rewiring_enabled() const;
+  size_t storage_page_bytes() const;
+  size_t storage_backing_page_bytes() const;
+  uint64_t storage_num_remaps() const;
+  uint64_t storage_num_fallback_copies() const;
+
   /// Structural validation: fences contiguous and sorted, chunk contents
   /// within fences, per-segment sortedness, index separators == fences,
   /// element count. Requires quiescence (no concurrent clients); call
@@ -135,6 +193,38 @@ class ConcurrentPMA : public OrderedMap {
   // or the leftmost non-empty segment, or seg_begin() for an empty chunk.
   size_t LocateSegment(const Snapshot& snap, const Gate& gate, Key key) const;
 
+  // ------------------------------------------- optimistic read path
+
+  /// LocateSegment for a reader holding no latch: tagged route loads
+  /// (TSan-visible), result always within the chunk even on torn data —
+  /// the caller's version validation rejects the window if it raced.
+  size_t LocateSegmentOptimistic(const Snapshot& snap, const Gate& gate,
+                                 Key key) const;
+
+  /// One budget-bounded optimistic point lookup against `snap`.
+  enum class OptRead { kHit, kMiss, kFallback, kRestart };
+  OptRead TryOptimisticFind(const Snapshot& snap, Key key,
+                            Value* value) const;
+
+  /// One budget-bounded optimistic visit of a gate's chunk, staging
+  /// only items in [cursor, ...] and stopping past `max`. kOk hands
+  /// the caller validated data plus the gate's high fence (the scan
+  /// resume point); kFallback means the budget is spent (take the READ
+  /// latch); kRestart means the snapshot was retired.
+  enum class OptGate { kOk, kFallback, kRestart };
+  OptGate TryOptimisticGateCopy(const Snapshot& snap, const Gate& gate,
+                                Key cursor, Key max, std::vector<Item>* out,
+                                Key* gate_high) const;
+  OptGate TryOptimisticGateSum(const Snapshot& snap, const Gate& gate,
+                               Key cursor, bool have_cursor,
+                               uint64_t* sum_out, Key* gate_high) const;
+
+  /// Blocking-path helper: stage a latched gate's chunk (range-bounded
+  /// like TryOptimisticGateCopy) for emission outside the latch, so
+  /// user callbacks run latch-free in both modes.
+  void CopyGateLatched(const Snapshot& snap, const Gate& gate, Key cursor,
+                       Key max, std::vector<Item>* out) const;
+
   /// True if the effective spread policy is adaptive (paper: one-by-one
   /// leverages adaptive rebalancing, batch uses traditional).
   bool adaptive_effective() const {
@@ -148,6 +238,8 @@ class ConcurrentPMA : public OrderedMap {
   Snapshot* BuildInitialSnapshot();
 
   ConcurrentConfig cfg_;
+  // Effective retry budget (cfg_ value or CPMA_OPTIMISTIC_RETRIES).
+  int optimistic_retries_ = 8;
   mutable EpochGC gc_;
   std::atomic<Snapshot*> snapshot_;
   std::atomic<size_t> count_{0};
@@ -159,6 +251,8 @@ class ConcurrentPMA : public OrderedMap {
   std::atomic<uint64_t> stat_resizes_{0};
   std::atomic<uint64_t> stat_queued_ops_{0};
   std::atomic<uint64_t> stat_batches_{0};
+  mutable std::atomic<uint64_t> stat_read_fallbacks_{0};
+  mutable std::atomic<uint64_t> stat_optimistic_gate_reads_{0};
 };
 
 }  // namespace cpma

@@ -9,30 +9,62 @@ namespace {
 // Typical writer holds are sub-microsecond (one segment insert), so
 // sleeping on the condvar costs far more than the wait itself. Spin a
 // little before blocking; rebalances and resizes still park properly.
+//
+// The spin phase polls the published state word / fences (relaxed
+// atomics) and only re-acquires the mutex when the poll says the
+// outcome could change (ISSUE 4 micro-fix): the old loop re-locked
+// every kPollsPerRound relaxes even while the state word alone showed
+// the gate still held, which turned a contended gate into a mutex
+// ping-pong between the holder and every spinner.
 constexpr int kSpinRounds = 48;
+constexpr int kPollsPerRound = 32;
 }  // namespace
+
+bool Gate::WriterPollActionable(Key key, bool allow_queue) const {
+  if (invalidated_.load(std::memory_order_relaxed)) return true;
+  if (key < low_fence() || key > high_fence()) return true;
+  if (pub_state_.load(std::memory_order_relaxed) == State::kFree) return true;
+  // An active combiner accepts queued ops regardless of latch state.
+  return allow_queue && writer_active_.load(std::memory_order_relaxed);
+}
+
+bool Gate::ReaderPollActionable(const Key* key) const {
+  if (invalidated_.load(std::memory_order_relaxed)) return true;
+  if (key != nullptr && (*key < low_fence() || *key > high_fence())) {
+    return true;
+  }
+  const State s = pub_state_.load(std::memory_order_relaxed);
+  return s == State::kFree || s == State::kRead;
+}
 
 GateAccess Gate::WriterAccess(const GateOp& op, bool allow_queue) {
   std::unique_lock<std::mutex> lk(m_);
   int spins = 0;
   for (;;) {
-    if (invalidated_) return GateAccess::kInvalidated;
+    if (invalidated_.load(std::memory_order_relaxed)) {
+      return GateAccess::kInvalidated;
+    }
     GateAccess fence_result;
     if (!FenceCheck(op.key, &fence_result)) return fence_result;
-    if (allow_queue && writer_active_) {
+    if (allow_queue && writer_active_.load(std::memory_order_relaxed)) {
       queue_.push_back(op);
       return GateAccess::kQueued;
     }
     if (state_ == State::kFree) {
-      state_ = State::kWrite;
+      SetState(State::kWrite);
+      version_.BeginMutate();
       // In asynchronous modes the owning writer becomes the gate's
       // combiner (pQ set, paper §3.5); in sync mode no queue exists.
-      writer_active_ = allow_queue;
+      writer_active_.store(allow_queue, std::memory_order_relaxed);
       return GateAccess::kOwner;
     }
-    if (spins++ < kSpinRounds) {
+    if (spins < kSpinRounds) {
       lk.unlock();
-      for (int i = 0; i < 32; ++i) SpinLock::CpuRelax();
+      while (spins < kSpinRounds) {
+        for (int i = 0; i < kPollsPerRound; ++i) SpinLock::CpuRelax();
+        ++spins;
+        if (WriterPollActionable(op.key, allow_queue)) break;
+      }
       lk.lock();
       continue;
     }
@@ -44,19 +76,25 @@ GateAccess Gate::ReaderAccess(const Key* key) {
   std::unique_lock<std::mutex> lk(m_);
   int spins = 0;
   for (;;) {
-    if (invalidated_) return GateAccess::kInvalidated;
+    if (invalidated_.load(std::memory_order_relaxed)) {
+      return GateAccess::kInvalidated;
+    }
     if (key != nullptr) {
       GateAccess fence_result;
       if (!FenceCheck(*key, &fence_result)) return fence_result;
     }
     if (state_ == State::kFree || state_ == State::kRead) {
-      state_ = State::kRead;
+      SetState(State::kRead);
       ++num_readers_;
       return GateAccess::kOwner;
     }
-    if (spins++ < kSpinRounds) {
+    if (spins < kSpinRounds) {
       lk.unlock();
-      for (int i = 0; i < 32; ++i) SpinLock::CpuRelax();
+      while (spins < kSpinRounds) {
+        for (int i = 0; i < kPollsPerRound; ++i) SpinLock::CpuRelax();
+        ++spins;
+        if (ReaderPollActionable(key)) break;
+      }
       lk.lock();
       continue;
     }
@@ -68,7 +106,7 @@ void Gate::ReaderRelease() {
   std::lock_guard<std::mutex> lk(m_);
   CPMA_CHECK(state_ == State::kRead && num_readers_ > 0);
   if (--num_readers_ == 0) {
-    state_ = State::kFree;
+    SetState(State::kFree);
     cv_.notify_all();
   }
 }
@@ -77,8 +115,9 @@ bool Gate::WriterPopOrRelease(GateOp* op) {
   std::lock_guard<std::mutex> lk(m_);
   CPMA_CHECK(state_ == State::kWrite);
   if (queue_.empty()) {
-    writer_active_ = false;
-    state_ = State::kFree;
+    writer_active_.store(false, std::memory_order_relaxed);
+    version_.EndMutate();
+    SetState(State::kFree);
     cv_.notify_all();
     return false;
   }
@@ -99,8 +138,9 @@ bool Gate::WriterRelease() {
   std::lock_guard<std::mutex> lk(m_);
   CPMA_CHECK(state_ == State::kWrite);
   if (!queue_.empty()) return false;
-  writer_active_ = false;
-  state_ = State::kFree;
+  writer_active_.store(false, std::memory_order_relaxed);
+  version_.EndMutate();
+  SetState(State::kFree);
   cv_.notify_all();
   return true;
 }
@@ -120,7 +160,9 @@ void Gate::OwnerPushFront(const std::vector<GateOp>& ops) {
 void Gate::TransferToRebalancer() {
   std::lock_guard<std::mutex> lk(m_);
   CPMA_CHECK(state_ == State::kWrite);
-  state_ = State::kRebal;
+  // WRITE -> REBAL keeps the version word odd: the mutation window
+  // simply changes owner, and readers must not validate in between.
+  SetState(State::kRebal);
   master_owned_ = false;
   // The master may already be waiting on this gate to extend a window;
   // an unowned REBAL gate is acquirable by it.
@@ -130,9 +172,10 @@ void Gate::TransferToRebalancer() {
 bool Gate::WriterReacquireAfterRebal() {
   std::unique_lock<std::mutex> lk(m_);
   for (;;) {
-    if (invalidated_) return false;
+    if (invalidated_.load(std::memory_order_relaxed)) return false;
     if (state_ == State::kFree) {
-      state_ = State::kWrite;
+      SetState(State::kWrite);
+      version_.BeginMutate();
       return true;
     }
     cv_.wait(lk);
@@ -141,8 +184,10 @@ bool Gate::WriterReacquireAfterRebal() {
 
 void Gate::WriterDetachKeepQueue() {
   std::lock_guard<std::mutex> lk(m_);
-  CPMA_CHECK(state_ == State::kWrite && writer_active_);
-  state_ = State::kFree;
+  CPMA_CHECK(state_ == State::kWrite &&
+             writer_active_.load(std::memory_order_relaxed));
+  version_.EndMutate();
+  SetState(State::kFree);
   cv_.notify_all();
 }
 
@@ -152,14 +197,19 @@ void Gate::MasterAcquire() {
     return state_ == State::kFree ||
            (state_ == State::kRebal && !master_owned_);
   });
-  state_ = State::kRebal;
+  // A transferred gate (REBAL, unowned) is already mid-mutation — its
+  // version word is odd from the writer's acquire; only a fresh FREE ->
+  // REBAL edge opens a new mutation window.
+  if (state_ == State::kFree) version_.BeginMutate();
+  SetState(State::kRebal);
   master_owned_ = true;
 }
 
 void Gate::MasterRelease() {
   std::lock_guard<std::mutex> lk(m_);
   CPMA_CHECK(state_ == State::kRebal && master_owned_);
-  state_ = State::kFree;
+  version_.EndMutate();
+  SetState(State::kFree);
   master_owned_ = false;
   cv_.notify_all();
 }
@@ -175,24 +225,30 @@ std::deque<GateOp> Gate::MasterTakeQueue() {
 void Gate::MasterClearWriterActive() {
   std::lock_guard<std::mutex> lk(m_);
   CPMA_CHECK(state_ == State::kRebal && master_owned_);
-  writer_active_ = false;
+  writer_active_.store(false, std::memory_order_relaxed);
 }
 
 void Gate::InvalidateAndRelease() {
   std::lock_guard<std::mutex> lk(m_);
   CPMA_CHECK(state_ == State::kRebal && master_owned_);
   CPMA_CHECK_MSG(queue_.empty(), "resize must drain combining queues");
-  invalidated_ = true;
-  writer_active_ = false;
-  state_ = State::kFree;
+  // Flag first, then close the mutation window: EndMutate's release
+  // edge publishes the flag together with the even version, so an
+  // optimistic reader that sees the post-resize version also sees the
+  // invalidation and restarts on the new snapshot instead of serving
+  // the retired storage forever.
+  invalidated_.store(true, std::memory_order_relaxed);
+  writer_active_.store(false, std::memory_order_relaxed);
+  version_.EndMutate();
+  SetState(State::kFree);
   master_owned_ = false;
   cv_.notify_all();
 }
 
 void Gate::SetFences(Key low, Key high) {
   std::lock_guard<std::mutex> lk(m_);
-  low_fence_ = low;
-  high_fence_ = high;
+  low_fence_.store(low, std::memory_order_relaxed);
+  high_fence_.store(high, std::memory_order_relaxed);
 }
 
 }  // namespace cpma

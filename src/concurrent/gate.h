@@ -17,19 +17,33 @@
 //   (d) the per-segment minimum keys that aid lookups inside a chunk —
 //       these live in Storage::route() and need no duplication here;
 //   (e) the `invalidated` flag set when a resize replaced the whole
-//       structure: woken clients restart in a new epoch (paper §3.4).
+//       structure: woken clients restart in a new epoch (paper §3.4);
+//   (f) a sequence-lock version word (ISSUE 4): even = no mutator, odd =
+//       a writer or the rebalancer owns the chunk. It is bumped exactly
+//       on the WRITE/REBAL edges of the state machine (write acquire and
+//       release, master acquire and release, invalidation; a WRITE ->
+//       REBAL hand-off keeps it odd), so readers can run the segment
+//       search directly on the storage and validate afterwards instead
+//       of taking the READ latch — the optimistic read protocol in
+//       concurrent_pma.h. Fence keys and the invalidated flag are
+//       relaxed atomics for the same reason: optimistic readers consult
+//       them inside a version-validated window, writers only under the
+//       latch. The memory-ordering argument lives with SeqVersion in
+//       common/latches.h.
 //
 // Deadlock freedom: clients hold at most one gate latch; only the single
 // rebalancer master ever holds several.
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <thread>
 
+#include "common/latches.h"
 #include "common/ordered_map.h"
 #include "pma/item.h"
 
@@ -142,13 +156,33 @@ class Gate {
   /// everyone (resize path). Also releases the latch.
   void InvalidateAndRelease();
 
+  // ------------------------------------------------- optimistic readers
+
+  /// The chunk's sequence-lock version word. Readers snapshot with
+  /// ReadBegin(), run tagged reads on the storage, then Validate();
+  /// only the gate's own state machine mutates it.
+  const SeqVersion& version() const { return version_; }
+
+  /// Latch-free invalidation check for the optimistic path (resize
+  /// handling): pairs with the release edge of InvalidateAndRelease via
+  /// the version word, so a reader that observes the post-invalidate
+  /// even version also observes the flag.
+  bool invalidated_relaxed() const {
+    return invalidated_.load(std::memory_order_relaxed);
+  }
+
   // ----------------------------------------------------------- metadata
 
-  // Fence keys. Written by the master while holding the gate (under the
-  // internal mutex so queueing writers can validate), read under the
-  // latch or the mutex.
-  Key low_fence() const { return low_fence_; }
-  Key high_fence() const { return high_fence_; }
+  // Fence keys. Written by the master while holding the gate (version
+  // word odd), read under the latch, under the mutex, or — optimistic
+  // path — inside a version-validated window (a stable version proves
+  // the [low, high] pair was read untorn).
+  Key low_fence() const {
+    return low_fence_.load(std::memory_order_relaxed);
+  }
+  Key high_fence() const {
+    return high_fence_.load(std::memory_order_relaxed);
+  }
   void SetFences(Key low, Key high);
 
   int64_t last_global_rebalance_ms() const {
@@ -158,21 +192,36 @@ class Gate {
     last_global_rebalance_ms_ = t;
   }
 
-  bool writer_active_unsafe() const { return writer_active_; }
+  bool writer_active_unsafe() const {
+    return writer_active_.load(std::memory_order_relaxed);
+  }
   size_t queue_size_unsafe() const { return queue_.size(); }
 
  private:
   bool FenceCheck(Key key, GateAccess* out) const {
-    if (key < low_fence_) {
+    if (key < low_fence()) {
       *out = GateAccess::kTooLow;
       return false;
     }
-    if (key > high_fence_) {
+    if (key > high_fence()) {
       *out = GateAccess::kTooHigh;
       return false;
     }
     return true;
   }
+
+  /// Every state_ change goes through here so the latch-free mirror the
+  /// spin loops poll stays in sync (always under m_).
+  void SetState(State s) {
+    state_ = s;
+    pub_state_.store(s, std::memory_order_relaxed);
+  }
+
+  // Latch-free pre-checks for the spin phases: true when re-acquiring
+  // the mutex could change the caller's outcome (gate looks acquirable,
+  // queueable, invalidated, or the fences moved off the key).
+  bool WriterPollActionable(Key key, bool allow_queue) const;
+  bool ReaderPollActionable(const Key* key) const;
 
   const uint32_t id_;
   const size_t seg_begin_;
@@ -183,13 +232,18 @@ class Gate {
   State state_ = State::kFree;
   uint32_t num_readers_ = 0;
   bool master_owned_ = false;
-  bool invalidated_ = false;
 
-  bool writer_active_ = false;
+  // Mirror of state_ for the latch-free spin polls (see SetState) and
+  // the seqlock word for optimistic readers.
+  std::atomic<State> pub_state_{State::kFree};
+  SeqVersion version_;
+  std::atomic<bool> invalidated_{false};
+
+  std::atomic<bool> writer_active_{false};
   std::deque<GateOp> queue_;
 
-  Key low_fence_ = kKeyMin;
-  Key high_fence_ = kKeySentinel;
+  std::atomic<Key> low_fence_{kKeyMin};
+  std::atomic<Key> high_fence_{kKeySentinel};
   int64_t last_global_rebalance_ms_ = 0;
 };
 

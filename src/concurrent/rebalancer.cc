@@ -149,6 +149,15 @@ void Rebalancer::Dispatch(const Request& req) {
   }
 }
 
+// Gate-version lifecycle across the rebalance protocol (ISSUE 4): every
+// acquisition below rides the gate state machine, which bumps the
+// seqlock word on its WRITE/REBAL edges — MasterAcquire turns a FREE
+// gate odd (a transferred REBAL gate is already odd from its writer and
+// keeps the same mutation window), MasterRelease turns it even again
+// after fences/storage settled, and InvalidateAndRelease publishes the
+// invalidated flag on the same release edge so optimistic readers of
+// the retired snapshot restart instead of validating stale chunks. No
+// explicit version manipulation belongs here.
 void Rebalancer::AcquireGates(Snapshot* snap, size_t nb, size_t ne,
                               size_t* gb, size_t* ge) {
   if (*gb == *ge) {  // nothing held yet

@@ -66,6 +66,15 @@ struct ConcurrentConfig {
   /// Segment span above which a worker-parallel rebalance is used rather
   /// than the master doing the spread alone (always a multiple of gates).
   size_t parallel_rebalance_min_gates = 4;
+
+  /// Optimistic read path (ISSUE 4): how many seqlock windows a reader
+  /// attempts per gate (failed validations, mutator-active snapshots and
+  /// neighbour walks all count) before falling back to the blocking READ
+  /// latch. 0 disables the optimistic path entirely — every read takes
+  /// the latch, which is also the forced-fallback test mode. Overridden
+  /// at construction by the CPMA_OPTIMISTIC_RETRIES environment
+  /// variable when set.
+  int optimistic_retries = 8;
 };
 
 }  // namespace cpma

@@ -41,22 +41,35 @@ void Storage::SwapWindow(size_t seg_begin, size_t seg_end) {
   CPMA_CHECK(seg_begin < seg_end && seg_end <= num_segments_);
   const size_t off = seg_begin * segment_bytes();
   const size_t len = (seg_end - seg_begin) * segment_bytes();
+#if !CPMA_TSAN
   if (!force_copy_ && region_->CanSwap(off, off, len)) {
     region_->SwapPages(off, off, len);
-  } else {
-    std::memcpy(reinterpret_cast<char*>(items_) + off,
-                reinterpret_cast<char*>(buffer_) + off, len);
+    return;
   }
+#endif
+  // Copy publish (alignment forbids a remap, use_rewiring=false, or a
+  // TSan build). The destination races with optimistic readers, so the
+  // copy is tagged (plain memcpy in production, per-word atomics under
+  // TSan — common/tagged.h). Under TSan the remap publish is disabled
+  // outright: the interceptor models mmap(MAP_FIXED) as a plain write
+  // to the whole range, and a page exchange cannot be expressed as
+  // atomics — readers racing a remap see either the old or the new
+  // page image, word-atomically either way, and validation discards
+  // the window; the instrumented build proves exactly that protocol on
+  // the copy mechanism (the remap mechanism itself stays covered by
+  // the unit/asan rewiring suites).
+  TaggedCopyWords(reinterpret_cast<char*>(items_) + off,
+                  reinterpret_cast<char*>(buffer_) + off, len);
 }
 
 void Storage::RebuildRoutes(size_t seg_begin, size_t seg_end) {
   for (size_t s = seg_begin; s < seg_end; ++s) {
     if (s == 0) {
-      route_[0] = kKeyMin;
-    } else if (card_[s] > 0) {
-      route_[s] = segment(s)[0].key;
+      set_route(0, kKeyMin);
+    } else if (card(s) > 0) {
+      set_route(s, segment(s)[0].key);
     } else {
-      route_[s] = kKeySentinel;
+      set_route(s, kKeySentinel);
     }
   }
 }

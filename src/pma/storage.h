@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/tagged.h"
 #include "pma/item.h"
 #include "rewiring/rewiring.h"
 
@@ -44,11 +45,18 @@ class Storage {
   const Item* segment(size_t s) const { return items_ + s * segment_capacity_; }
   Item* buffer_segment(size_t s) { return buffer_ + s * segment_capacity_; }
 
-  uint32_t card(size_t s) const { return card_[s]; }
-  void set_card(size_t s, uint32_t c) { card_[s] = c; }
+  // Cardinalities and routing keys are read by optimistic (latch-free)
+  // readers while a latched writer stores them, so every access goes
+  // through the tagged relaxed-atomic helpers (common/tagged.h) — the
+  // same plain mov in production, visible-as-atomic under TSan. A torn
+  // concurrent read returns some previously stored word: card stays
+  // <= segment_capacity and route indexes stay in the chunk, and the
+  // gate version validation discards the unstable window.
+  uint32_t card(size_t s) const { return TaggedLoad(&card_[s]); }
+  void set_card(size_t s, uint32_t c) { TaggedStore(&card_[s], c); }
 
-  Key route(size_t s) const { return route_[s]; }
-  void set_route(size_t s, Key k) { route_[s] = k; }
+  Key route(size_t s) const { return TaggedLoad(&route_[s]); }
+  void set_route(size_t s, Key k) { TaggedStore(&route_[s], k); }
   const std::vector<Key>& routes() const { return route_; }
 
   uint32_t insert_count(size_t s) const { return inserts_[s]; }
@@ -69,6 +77,11 @@ class Storage {
 
   bool rewiring_enabled() const { return region_->rewiring_enabled(); }
   uint64_t num_remaps() const { return region_->num_remaps(); }
+  uint64_t num_fallback_copies() const {
+    return region_->num_fallback_copies();
+  }
+  size_t page_bytes() const { return region_->page_bytes(); }
+  size_t backing_page_bytes() const { return region_->backing_page_bytes(); }
 
   /// Total bytes of one segment.
   size_t segment_bytes() const { return segment_capacity_ * sizeof(Item); }

@@ -1,6 +1,9 @@
 #include "rewiring/rewiring.h"
 
+#include <cstdio>
 #include <cstring>
+
+#include "common/tagged.h"
 
 #if defined(__linux__)
 #include <sys/mman.h>
@@ -157,9 +160,50 @@ void RewiredRegion::SwapPages(size_t region_offset, size_t buffer_offset,
 #endif
 
   // Fallback: single copy buffer -> region (callers stage data in the
-  // buffer; this is the classical two-copies rebalance, second copy here).
-  std::memcpy(region_ + region_offset, buffer_ + buffer_offset, len);
+  // buffer; this is the classical two-copies rebalance, second copy
+  // here). The destination races with optimistic gate readers, so the
+  // copy is tagged (common/tagged.h).
+  TaggedCopyWords(region_ + region_offset, buffer_ + buffer_offset, len);
   num_remaps_.fetch_add(1, std::memory_order_relaxed);
+  num_fallback_copies_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t RewiredRegion::backing_page_bytes() const {
+#if defined(__linux__)
+  // Walk /proc/self/smaps to the mapping holding the live region and
+  // report 2 MiB iff the kernel has PMD-sized pages faulted in for it
+  // (memfd maps show ShmemPmdMapped/FilePmdMapped, the plain-new
+  // fallback AnonHugePages). Reading smaps is microseconds — callers
+  // are bench reporters, not hot paths.
+  std::FILE* f = std::fopen("/proc/self/smaps", "r");
+  if (f == nullptr) return page_size_;
+  const unsigned long target = reinterpret_cast<unsigned long>(region_);
+  char line[256];
+  bool in_mapping = false;
+  size_t result = page_size_;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned long lo = 0, hi = 0;
+    if (std::sscanf(line, "%lx-%lx ", &lo, &hi) == 2) {
+      if (in_mapping && target < lo) break;  // past our mapping
+      in_mapping = target >= lo && target < hi;
+      continue;
+    }
+    if (!in_mapping) continue;
+    size_t kb = 0;
+    if (std::sscanf(line, "AnonHugePages: %zu", &kb) == 1 ||
+        std::sscanf(line, "ShmemPmdMapped: %zu", &kb) == 1 ||
+        std::sscanf(line, "FilePmdMapped: %zu", &kb) == 1) {
+      if (kb > 0) {
+        result = 2u * 1024 * 1024;
+        break;
+      }
+    }
+  }
+  std::fclose(f);
+  return result;
+#else
+  return page_size_;
+#endif
 }
 
 }  // namespace cpma

@@ -69,6 +69,25 @@ class RewiredRegion {
     return num_remaps_.load(std::memory_order_relaxed);
   }
 
+  /// Number of SwapPages calls that degraded to the memcpy fallback
+  /// (no memfd / restricted sandbox). Together with num_remaps this
+  /// tells a bench run which publish mechanism it actually measured.
+  uint64_t num_fallback_copies() const {
+    return num_fallback_copies_.load(std::memory_order_relaxed);
+  }
+
+  /// Mapping granularity (the unit SwapPages exchanges) — sysconf page
+  /// size. See backing_page_bytes() for the physical page size.
+  size_t page_bytes() const { return page_size_; }
+
+  /// Physical page size actually backing the live region *right now*:
+  /// 2 MiB when the kernel honoured MADV_HUGEPAGE for this mapping
+  /// (probed via /proc/self/smaps, so the answer reflects faulted-in
+  /// state, not just the request), else the 4 KiB base page size.
+  /// ROADMAP: benches report this so huge-page A/Bs are labelled with
+  /// what a run really used instead of what it asked for.
+  size_t backing_page_bytes() const;
+
  private:
   RewiredRegion() = default;
 
@@ -85,6 +104,7 @@ class RewiredRegion {
 
   // Atomic: parallel rebalance workers swap disjoint partitions.
   std::atomic<uint64_t> num_remaps_{0};
+  std::atomic<uint64_t> num_fallback_copies_{0};
 };
 
 }  // namespace cpma
