@@ -63,6 +63,7 @@ struct Knobs {
   uint64_t reps;
   uint64_t seed;
   std::string mode;  // sync | 1by1 | batch
+  bool strict;       // --strict=0: relaxed async ordering (A/B)
 };
 
 ConcurrentConfig MakeConfig(const Knobs& k) {
@@ -73,6 +74,13 @@ ConcurrentConfig MakeConfig(const Knobs& k) {
   cfg.async_mode = ConcurrentConfig::AsyncMode::kSync;
   if (k.mode == "1by1") cfg.async_mode = ConcurrentConfig::AsyncMode::kOneByOne;
   if (k.mode == "batch") cfg.async_mode = ConcurrentConfig::AsyncMode::kBatch;
+#if defined(CPMA_STRICT_ASYNC_ORDER)
+  // Feature-gated like the observability fields: the driver also
+  // compiles against pre-ISSUE-5 trees for the grafted-baseline
+  // methodology, where the knob does not exist (those trees ARE the
+  // relaxed contract).
+  cfg.strict_async_order = k.strict;
+#endif
   return cfg;
 }
 
@@ -126,6 +134,13 @@ void Report(BenchJson* json, const ConcurrentPMA& pma, const Knobs& k,
       .Int("optimistic_gate_reads", pma.num_optimistic_gate_reads())
       .Int("optimistic_retries",
            static_cast<uint64_t>(pma.optimistic_retries()));
+#endif
+#if defined(CPMA_STRICT_ASYNC_ORDER)
+  // Identity knob only when off the default, so default-strict records
+  // keep matching pre-ISSUE-5 baselines (bench_diff identity is
+  // field-exact) while --strict=0 A/B records split into their own.
+  if (!k.strict) rec.Bool("strict_async_order", false);
+  rec.Int("reroutes", pma.num_reroutes());
 #endif
 }
 
@@ -300,6 +315,7 @@ int main(int argc, char** argv) {
   k.reps = flags.GetInt("reps", 3);
   k.seed = flags.GetInt("seed", 42);
   k.mode = flags.Get("mode", "sync");
+  k.strict = flags.GetInt("strict", 1) != 0;
   const uint64_t scan_passes = flags.GetInt("scan_passes", 4);
   const std::string what = flags.Get("what", "find,find_uniform,mixed,scan");
 

@@ -50,12 +50,13 @@ Best BestOf(uint64_t reps, uint64_t items_per_rep, Fn&& fn) {
   return best;
 }
 
-void Report(BenchJson* json, const char* workload, const Best& best,
-            const char* metric, uint64_t items) {
+bench::JsonRecord& Report(BenchJson* json, const char* workload,
+                          const Best& best, const char* metric,
+                          uint64_t items) {
   std::printf("%-24s %10.3f M%s/s  (best rep %.4fs, %llu items)\n", workload,
               best.mops, metric, best.seconds,
               static_cast<unsigned long long>(items));
-  json->Add()
+  return json->Add()
       .Str("workload", workload)
       .Int("items_per_rep", items)
       .Num("update_mops", best.mops)
@@ -169,12 +170,18 @@ void BenchDenseSequentialInsert(BenchJson* json, uint64_t ops,
 }
 
 void BenchAsyncBatchInsert(BenchJson* json, uint64_t ops, uint64_t threads,
-                           uint64_t reps) {
+                           uint64_t reps, bool strict) {
   Best best;
   for (uint64_t r = 0; r < reps; ++r) {
     ConcurrentConfig cfg;
     cfg.async_mode = ConcurrentConfig::AsyncMode::kBatch;
     cfg.t_delay_ms = 5;
+#if defined(CPMA_STRICT_ASYNC_ORDER)
+    // Feature-gated: this driver is grafted onto pre-ISSUE-5 trees by
+    // the relative bench gate, where the knob does not exist (those
+    // trees ARE the relaxed contract).
+    cfg.strict_async_order = strict;
+#endif
     ConcurrentPMA pma(cfg);
     bench::WorkloadConfig wl;
     wl.num_ops = ops;
@@ -186,7 +193,12 @@ void BenchAsyncBatchInsert(BenchJson* json, uint64_t ops, uint64_t threads,
       best.seconds = res.seconds;
     }
   }
-  Report(json, "async_batch_insert", best, "op", ops);
+  bench::JsonRecord& rec =
+      Report(json, "async_batch_insert", best, "op", ops);
+  // Identity knob only when off the default: default-strict records keep
+  // matching pre-ISSUE-5 baselines (bench_diff identity is field-exact),
+  // while --strict=0 A/B records get their own identity.
+  if (!strict) rec.Bool("strict_async_order", false);
 }
 
 void BenchScanGuard(BenchJson* json, uint64_t reps) {
@@ -217,6 +229,9 @@ int main(int argc, char** argv) {
   const uint64_t batch = flags.GetInt("batch", 4096);
   const uint64_t reps = flags.GetInt("reps", 5);
   const uint64_t threads = flags.GetInt("threads", 4);
+  // --strict=0: relaxed async ordering (pre-ISSUE-5 contract) for the
+  // strict-vs-relaxed A/B on the async insert path (BENCH_PR5.json).
+  const bool strict = flags.GetInt("strict", 1) != 0;
   const std::string what = flags.Get("what", "all");
   auto want = [&](const char* w) {
     return what == "all" || what.find(w) != std::string::npos;
@@ -237,7 +252,7 @@ int main(int argc, char** argv) {
   if (want("resize")) BenchResizeStream(&json, segments, reps);
   if (want("dense")) BenchDenseSequentialInsert(&json, ops, reps);
   if (want("batch_insert") || what == "all") {
-    BenchAsyncBatchInsert(&json, ops, threads, reps);
+    BenchAsyncBatchInsert(&json, ops, threads, reps, strict);
   }
   if (want("scan")) BenchScanGuard(&json, reps);
   return json.Write() ? 0 : 1;

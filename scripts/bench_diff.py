@@ -41,7 +41,7 @@ VOLATILE = {
     "git_sha", "dispatch", "seconds", "date", "items_per_rep",
     "rewired", "rewiring_active", "page_bytes", "backing_page_bytes",
     "num_remaps", "fallback_copies", "read_fallbacks",
-    "optimistic_gate_reads", "optimistic_retries",
+    "optimistic_gate_reads", "optimistic_retries", "reroutes",
 }
 
 

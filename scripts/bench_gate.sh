@@ -7,6 +7,7 @@
 #   scripts/bench_gate.sh                  # vs committed bench/baseline/
 #   scripts/bench_gate.sh --update         # regenerate those baselines
 #   scripts/bench_gate.sh --relative REF   # vs REF built on THIS machine
+#   scripts/bench_gate.sh --relative REF --keep   # keep the base worktree
 #   CPMA_BENCH_GATE_THRESHOLD=25 ...       # widen the gate (noisy hosts)
 #   CPMA_SKIP_BENCH_GATE=1 ...             # skip entirely
 #
@@ -79,10 +80,47 @@ fi
 
 if [[ "${1:-}" == "--relative" ]]; then
   ref="${2:?bench_gate: --relative needs a git ref}"
+  keep=0
+  [[ "${3:-}" == "--keep" ]] && keep=1
+
+  # Harden for shallow / freshly-fetched checkouts (hosted runners):
+  # the ref must resolve to a commit we actually have before a worktree
+  # can be grafted onto it. Deepen, then fetch the ref directly, before
+  # giving up with an actionable message.
+  if ! git rev-parse --verify --quiet "${ref}^{commit}" >/dev/null; then
+    echo "bench_gate: $ref not present locally; fetching..." >&2
+    if [[ "$(git rev-parse --is-shallow-repository)" == true ]]; then
+      git fetch --deepen=100 origin >/dev/null 2>&1 || true
+    fi
+    git rev-parse --verify --quiet "${ref}^{commit}" >/dev/null ||
+      git fetch origin "$ref" >/dev/null 2>&1 || true
+    if ! git rev-parse --verify --quiet "${ref}^{commit}" >/dev/null; then
+      echo "bench_gate: cannot resolve --relative ref '$ref'" \
+           "(shallow clone without it? fetch it or pass a reachable ref)" >&2
+      exit 1
+    fi
+  fi
+
+  # Trap-based cleanup (ISSUE 5 fix): any exit — base build failure,
+  # bench crash, Ctrl-C — removes the grafted worktree AND its build
+  # tree, then prunes the registration; the old trap only ran
+  # `git worktree remove`, which refuses a dirty tree on some git
+  # versions and never deleted the mktemp dir on registration failure.
   base_wt="$(mktemp -d)"
-  trap 'git worktree remove --force "$base_wt" >/dev/null 2>&1 || true' EXIT
+  cleanup() {
+    if [[ "$keep" == 1 ]]; then
+      echo "bench_gate: --keep: leaving base worktree at $base_wt" >&2
+      return 0
+    fi
+    git worktree remove --force "$base_wt" >/dev/null 2>&1 || true
+    rm -rf "$base_wt"
+    git worktree prune >/dev/null 2>&1 || true
+  }
+  trap cleanup EXIT
   echo "bench_gate: building baseline from $(git rev-parse --short "$ref")"
-  git worktree add --detach "$base_wt" "$ref" >/dev/null
+  # --detach: works from any HEAD state, including the detached HEAD a
+  # hosted runner checks out for PR merge commits.
+  git worktree add --detach --force "$base_wt" "$ref" >/dev/null
   # Graft the candidate's bench drivers + diff tool so both sides run
   # identical workloads even when the base predates a driver.
   cp bench/bench_readpath.cc bench/bench_rebalance.cc "$base_wt/bench/"

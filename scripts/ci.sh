@@ -3,6 +3,11 @@
 #
 #   scripts/ci.sh              # release + asan smoke + tsan concurrent smoke
 #   scripts/ci.sh --fast       # release build + full ctest only
+#   scripts/ci.sh --bench-relative [REF]
+#                              # build release, then run the hosted-runner
+#                              # bench gate path (bench_gate.sh --relative)
+#                              # against REF (default: merge-base with
+#                              # origin/main, else HEAD~1) on THIS machine
 #   JOBS=8 scripts/ci.sh       # override build/test parallelism
 #
 # Exits non-zero on the first failing stage. Uses the CMakePresets.json
@@ -12,9 +17,33 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 FAST=0
+BENCH_RELATIVE=0
+BENCH_RELATIVE_REF="${2:-}"
 [[ "${1:-}" == "--fast" ]] && FAST=1
+[[ "${1:-}" == "--bench-relative" ]] && BENCH_RELATIVE=1
 
 stage() { printf '\n=== %s ===\n' "$*"; }
+
+# --bench-relative: exercise the exact gate ci.yml runs on hosted
+# runners (ISSUE 5) — build the candidate, rebuild the base ref in a
+# grafted worktree on this same machine, compare. Catches breakage in
+# the relative-mode plumbing before it gates a PR in CI.
+if [[ "$BENCH_RELATIVE" == 1 ]]; then
+  ref="$BENCH_RELATIVE_REF"
+  if [[ -z "$ref" ]]; then
+    ref=$(git merge-base HEAD origin/main 2>/dev/null || true)
+    if [[ -z "$ref" || "$ref" == "$(git rev-parse HEAD)" ]]; then
+      ref=$(git rev-parse HEAD~1)
+    fi
+  fi
+  stage "configure + build (release)"
+  cmake --preset release
+  cmake --build --preset release -j "$JOBS"
+  stage "bench regression gate (relative vs $(git rev-parse --short "$ref"))"
+  scripts/bench_gate.sh --relative "$ref"
+  stage "bench-relative gate green"
+  exit 0
+fi
 
 stage "configure + build (release)"
 cmake --preset release

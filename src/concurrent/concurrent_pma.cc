@@ -83,6 +83,20 @@ ConcurrentPMA::ConcurrentPMA(const ConcurrentConfig& config) : cfg_(config) {
     }
   }
   if (optimistic_retries_ < 0) optimistic_retries_ = 0;
+  strict_async_order_ = cfg_.strict_async_order;
+  if (const char* env = std::getenv("CPMA_STRICT_ASYNC")) {
+    // Same strict parse as above: "0" and "1" only — a typo silently
+    // relaxing the ordering contract would be a correctness hazard, not
+    // just a perf one.
+    if (env[0] != '\0' && env[1] == '\0' && (env[0] == '0' || env[0] == '1')) {
+      strict_async_order_ = env[0] == '1';
+    } else if (*env != '\0') {
+      std::fprintf(stderr,
+                   "cpma: ignoring invalid CPMA_STRICT_ASYNC=%s "
+                   "(want 0 or 1); using %d\n",
+                   env, strict_async_order_ ? 1 : 0);
+    }
+  }
   snapshot_.store(BuildInitialSnapshot(), std::memory_order_release);
   rebalancer_ = std::make_unique<Rebalancer>(this, cfg_.rebalancer_workers);
   rebalancer_->Start();
@@ -123,13 +137,18 @@ size_t ConcurrentPMA::capacity() const {
 }
 
 std::string ConcurrentPMA::Name() const {
+  // The default contract (strict per-key FIFO) stays unsuffixed so bench
+  // record identities are stable across the ISSUE 5 boundary; only the
+  // relaxed A/B opt-out announces itself.
+  const std::string suffix = strict_async_order_ ? "" : ",relaxed";
   switch (cfg_.async_mode) {
     case ConcurrentConfig::AsyncMode::kSync:
-      return "ConcurrentPMA(sync)";
+      return "ConcurrentPMA(sync" + suffix + ")";
     case ConcurrentConfig::AsyncMode::kOneByOne:
-      return "ConcurrentPMA(1by1)";
+      return "ConcurrentPMA(1by1" + suffix + ")";
     case ConcurrentConfig::AsyncMode::kBatch:
-      return "ConcurrentPMA(batch," + std::to_string(cfg_.t_delay_ms) + "ms)";
+      return "ConcurrentPMA(batch," + std::to_string(cfg_.t_delay_ms) + "ms" +
+             suffix + ")";
   }
   return "ConcurrentPMA";
 }
@@ -149,12 +168,26 @@ void ConcurrentPMA::Remove(Key key) {
 void ConcurrentPMA::Update(GateOp op) {
   const bool allow_queue =
       cfg_.async_mode != ConcurrentConfig::AsyncMode::kSync;
-  // FIFO: rerouted ops must re-apply in their original order, or two
-  // ops on the same key could invert.
+  // Enqueue stamp (ISSUE 5): one fetch_add per producer-issued op; the
+  // stamp rides the op through queues and rebalancer merges, where
+  // CanonicalizeBatch resolves per-key winners by it.
+  op.seq = seq_gen_.fetch_add(1, std::memory_order_relaxed);
+  // Worklist entries beyond the first are reroutes: ops that lost their
+  // gate to a fence move or resize and must re-dispatch through the
+  // index. Under strict_async_order this never happens (such ops are
+  // handed to the master inside the combining queue instead); in the
+  // relaxed mode the window between the fence move and the re-dispatch
+  // below is exactly where a younger same-key op can overtake.
+  bool rerouted = false;
   std::deque<GateOp> worklist{op};
   while (!worklist.empty()) {
     GateOp cur = worklist.front();
     worklist.pop_front();
+    if (rerouted) {
+      stat_reroutes_.fetch_add(1, std::memory_order_relaxed);
+      if (reroute_hook_) reroute_hook_(cur);
+    }
+    rerouted = true;
     EpochGuard guard(gc_);
     for (;;) {
       Snapshot* snap = snapshot_.load(std::memory_order_acquire);
@@ -209,7 +242,11 @@ void ConcurrentPMA::OwnerApplyAndDrain(Snapshot* snap, Gate* gate, GateOp op,
     if (pending.has_value() && (pending->key < gate->low_fence() ||
                                 pending->key > gate->high_fence())) {
       // A multi-gate rebalance moved the fences while we were parked;
-      // re-dispatch through the index (paper §3.3).
+      // re-dispatch through the index (paper §3.3). Reachable only in
+      // relaxed mode (the pending op kept across a rebalance below):
+      // everywhere else the op was fence-validated under this WRITE
+      // hold, or popped from a queue the masters drain before any fence
+      // move. Kept unconditionally as a cheap structural backstop.
       reroute->push_back(*pending);
       drop_pending();
     }
@@ -232,8 +269,42 @@ void ConcurrentPMA::OwnerApplyAndDrain(Snapshot* snap, Gate* gate, GateOp op,
         rebalancer_->RequestBatch(snap->version, gate->id(), due);
         gate->WriterDetachKeepQueue();
         return;
+      } else if (strict_async_order_) {
+        // Strict per-key FIFO (ISSUE 5): hand the op to the master
+        // INSIDE the combining queue instead of carrying it across the
+        // rebalance in this frame. The master drains the queue of every
+        // gate its window grows over and folds the drained ops into the
+        // merged spread while holding all of those gates, so the op is
+        // applied at its stamp-order position before any younger op can
+        // reach the moved fences — the reroute (and its reordering
+        // race) never exists. Push to the FRONT: the op is the oldest
+        // unapplied op on this gate (its own latch acquisition, or a
+        // pop off the queue head), and while the master is indifferent
+        // (it canonicalizes by stamp), the writer itself may end up
+        // draining this queue op-at-a-time after a shrink-probe
+        // interleave (MasterAcquire + release without a drain) — a
+        // back-push would then apply same-key ops out of issue order.
+        gate->OwnerPushFront({*pending});
+        if (!pending_counted) {
+          pending_async_.fetch_add(1, std::memory_order_relaxed);
+        }
+        pending.reset();
+        pending_counted = false;
+        gate->TransferToRebalancer();
+        rebalancer_->RequestRebalance(snap->version, gate->id(),
+                                      trigger_seg);
+        if (!gate->WriterReacquireAfterRebal()) {
+          // Resize: the gate is gone, but the op is not — ExecuteResize
+          // drained every combining queue (ours included) into the
+          // merge before invalidating. Nothing left to do.
+          return;
+        }
+        continue;  // nothing pending; drain the combining queue
       } else {
-        // Sync / one-by-one: transfer the latch and wait (paper §3.3).
+        // Relaxed §3.5 (pre-ISSUE-5, A/B mode): transfer the latch and
+        // wait (paper §3.3), keeping the op in this frame. If the
+        // rebalance moved the fences off the key, the top-of-loop check
+        // reroutes it — the documented reordering window.
         gate->TransferToRebalancer();
         rebalancer_->RequestRebalance(snap->version, gate->id(),
                                       trigger_seg);
@@ -248,8 +319,13 @@ void ConcurrentPMA::OwnerApplyAndDrain(Snapshot* snap, Gate* gate, GateOp op,
       }
     }
 
-    // Own op done — drain the combining queue.
-    if (cfg_.async_mode == AsyncMode::kOneByOne) {
+    // Own op done — drain the combining queue. Sync mode drains too:
+    // its queue is normally empty, but a strict-mode hand-off that
+    // interleaved with a shrink probe (MasterAcquire without a drain,
+    // released without a rebalance) can leave the handed-off op queued
+    // for us to finish; releasing with it still queued would strand the
+    // op and park the master forever.
+    if (!batch_mode) {
       GateOp qop;
       if (gate->WriterPopOrRelease(&qop)) {
         pending = qop;
@@ -258,37 +334,33 @@ void ConcurrentPMA::OwnerApplyAndDrain(Snapshot* snap, Gate* gate, GateOp op,
       }
       return;  // queue empty: gate released
     }
-    if (batch_mode) {
-      std::deque<GateOp> q = gate->WriterTakeQueue();
-      if (q.empty()) {
-        if (gate->WriterRelease()) return;
-        continue;  // new ops slipped in
-      }
-      pending_async_.fetch_sub(static_cast<int64_t>(q.size()),
-                               std::memory_order_relaxed);
-      std::deque<GateOp> local;
-      for (const GateOp& qop : q) {
-        if (qop.key < gate->low_fence() || qop.key > gate->high_fence()) {
-          reroute->push_back(qop);
-        } else {
-          local.push_back(qop);
-        }
-      }
-      if (ApplyBatchLocal(snap, gate, &local)) continue;
-      // Remainder does not fit inside the gate: back onto the queue —
-      // *ahead* of anything that arrived while we processed the batch —
-      // and over to the rebalancer.
-      gate->OwnerPushFront(std::vector<GateOp>(local.begin(), local.end()));
-      pending_async_.fetch_add(static_cast<int64_t>(local.size()),
-                               std::memory_order_relaxed);
-      const int64_t due = std::max(
-          NowMillis(), gate->last_global_rebalance_ms() + cfg_.t_delay_ms);
-      rebalancer_->RequestBatch(snap->version, gate->id(), due);
-      gate->WriterDetachKeepQueue();
-      return;
+    // Batch mode: take the whole queue at once.
+    std::deque<GateOp> q = gate->WriterTakeQueue();
+    if (q.empty()) {
+      if (gate->WriterRelease()) return;
+      continue;  // new ops slipped in
     }
-    // Sync mode: no queue can exist.
-    gate->WriterRelease();
+    pending_async_.fetch_sub(static_cast<int64_t>(q.size()),
+                             std::memory_order_relaxed);
+    std::deque<GateOp> local;
+    for (const GateOp& qop : q) {
+      if (qop.key < gate->low_fence() || qop.key > gate->high_fence()) {
+        reroute->push_back(qop);
+      } else {
+        local.push_back(qop);
+      }
+    }
+    if (ApplyBatchLocal(snap, gate, &local)) continue;
+    // Remainder does not fit inside the gate: back onto the queue —
+    // *ahead* of anything that arrived while we processed the batch —
+    // and over to the rebalancer.
+    gate->OwnerPushFront(std::vector<GateOp>(local.begin(), local.end()));
+    pending_async_.fetch_add(static_cast<int64_t>(local.size()),
+                             std::memory_order_relaxed);
+    const int64_t due = std::max(
+        NowMillis(), gate->last_global_rebalance_ms() + cfg_.t_delay_ms);
+    rebalancer_->RequestBatch(snap->version, gate->id(), due);
+    gate->WriterDetachKeepQueue();
     return;
   }
 }
@@ -425,7 +497,10 @@ bool ConcurrentPMA::ApplyBatchLocal(Snapshot* snap, Gate* gate,
   std::vector<BatchEntry> batch(inserts.begin() + next, inserts.end());
   if (TryMergedGateSpread(snap, gate, batch)) return true;
   for (const BatchEntry& e : batch) {
-    pending->push_back(GateOp{GateOp::Type::kInsert, e.key, e.value});
+    // Restore the winner's enqueue stamp: the remainder re-enters the
+    // queue and must compete against fresh (younger) ops under its
+    // original issue order, not a fabricated one.
+    pending->push_back(GateOp{GateOp::Type::kInsert, e.key, e.value, e.seq});
   }
   return false;
 }

@@ -44,11 +44,34 @@
 //
 // Updates may therefore complete asynchronously; Flush() waits until all
 // queued work (including rebalancer batches) has been applied.
+//
+// Async ordering contract (§3.5, strengthened in ISSUE 5): with
+// `ConcurrentConfig::strict_async_order` (default on), updates on the
+// SAME key are applied in the order their producer issued them —
+// per-key, per-producer FIFO — across every async mode, including ops
+// parked in combining queues while a fence-moving multi-gate rebalance
+// or a resize runs. Three mechanisms compose into the guarantee:
+//   1. every GateOp is stamped with a monotone enqueue sequence in
+//      Update(); CanonicalizeBatch picks per-key winners by stamp;
+//   2. fences never move over a non-empty combining queue: the master
+//      drains the queue of every gate its window covers and folds the
+//      drained ops into the merged spread while holding those gates;
+//   3. a writer whose op needs a multi-gate rebalance pushes the op
+//      into its gate's queue BEFORE transferring the latch, so the op
+//      rides mechanism 2 instead of being re-dispatched through the
+//      index after the fences moved (the pre-ISSUE-5 race: a younger
+//      op could reach the destination gate first).
+// With strict_async_order off, mechanism 3 reverts to the relaxed
+// re-dispatch and same-key inversions are possible again (kept for A/B;
+// the reroute-storm test in tests/test_reroute_order.cc demonstrates
+// the inversion deterministically). Cross-key ordering stays relaxed in
+// both settings, exactly as the paper specifies.
 
 #pragma once
 
 #include <atomic>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -60,10 +83,12 @@
 #include "pma/config.h"
 #include "pma/storage.h"
 
-// Feature macro: lets externally grafted sources (the pre/post bench
+// Feature macros: let externally grafted sources (the pre/post bench
 // drivers in BENCH_*.json methodology) compile against trees with and
-// without the optimistic read path.
+// without the optimistic read path (ISSUE 4) / the strict async
+// ordering contract (ISSUE 5).
 #define CPMA_OPTIMISTIC_READ_PATH 1
+#define CPMA_STRICT_ASYNC_ORDER 1
 
 namespace cpma {
 
@@ -141,6 +166,27 @@ class ConcurrentPMA : public OrderedMap {
   /// Effective per-gate optimistic retry budget (config, possibly
   /// overridden by CPMA_OPTIMISTIC_RETRIES at construction).
   int optimistic_retries() const { return optimistic_retries_; }
+
+  /// Effective async ordering contract (config, possibly overridden by
+  /// CPMA_STRICT_ASYNC at construction). True = per-key FIFO.
+  bool strict_async_order() const { return strict_async_order_; }
+
+  /// Ops re-dispatched through the index after losing their gate to a
+  /// fence move or resize. Structurally zero under strict_async_order
+  /// (such ops ride the rebalancer's merged spread instead); non-zero
+  /// counts are the relaxed mode's reordering windows.
+  uint64_t num_reroutes() const {
+    return stat_reroutes_.load(std::memory_order_relaxed);
+  }
+
+  /// Test-only: invoked on the re-dispatching thread for every rerouted
+  /// op, after the origin gate was released and before the re-dispatch
+  /// descends the index — i.e. inside the relaxed mode's reordering
+  /// window, so tests can deterministically interleave a younger op.
+  /// Set under quiescence (before concurrent clients exist).
+  void SetRerouteHookForTest(std::function<void(const GateOp&)> hook) {
+    reroute_hook_ = std::move(hook);
+  }
 
   // Storage observability (ROADMAP huge-page visibility): what publish
   // mechanism and page size the current snapshot actually uses, for
@@ -240,6 +286,11 @@ class ConcurrentPMA : public OrderedMap {
   ConcurrentConfig cfg_;
   // Effective retry budget (cfg_ value or CPMA_OPTIMISTIC_RETRIES).
   int optimistic_retries_ = 8;
+  // Effective ordering contract (cfg_ value or CPMA_STRICT_ASYNC).
+  bool strict_async_order_ = true;
+  // Global enqueue stamp generator; see GateOp::seq.
+  std::atomic<uint64_t> seq_gen_{1};
+  std::function<void(const GateOp&)> reroute_hook_;
   mutable EpochGC gc_;
   std::atomic<Snapshot*> snapshot_;
   std::atomic<size_t> count_{0};
@@ -251,6 +302,7 @@ class ConcurrentPMA : public OrderedMap {
   std::atomic<uint64_t> stat_resizes_{0};
   std::atomic<uint64_t> stat_queued_ops_{0};
   std::atomic<uint64_t> stat_batches_{0};
+  std::atomic<uint64_t> stat_reroutes_{0};
   mutable std::atomic<uint64_t> stat_read_fallbacks_{0};
   mutable std::atomic<uint64_t> stat_optimistic_gate_reads_{0};
 };

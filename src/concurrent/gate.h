@@ -13,7 +13,13 @@
 //   (c) the local-combining queue (paper §3.5): while a writer is active
 //       on the gate (`writer_active`), later writers append their update
 //       and return immediately; the active writer (or the rebalancer, for
-//       deferred batches) drains the queue;
+//       deferred batches) drains the queue. Ordering invariant (ISSUE 5):
+//       fences never move while this queue is non-empty — every master
+//       acquisition that may move fences drains the queue first and folds
+//       the drained ops into the merged spread while all affected gates
+//       are held. A queued op therefore never outlives the fence range it
+//       was admitted under, which is what makes the per-key FIFO contract
+//       of `ConcurrentConfig::strict_async_order` enforceable;
 //   (d) the per-segment minimum keys that aid lookups inside a chunk —
 //       these live in Storage::route() and need no duplication here;
 //   (e) the `invalidated` flag set when a resize replaced the whole
@@ -55,6 +61,14 @@ struct GateOp {
   Type type;
   Key key;
   Value value;
+  /// Monotone enqueue stamp (ISSUE 5): assigned once from a global
+  /// counter when the producer enters ConcurrentPMA::Update and carried
+  /// unchanged through queues, batch canonicalization and rebalancer
+  /// merges. Because each producer issues its ops sequentially, seq
+  /// order restricted to one producer is that producer's program order,
+  /// so "per-key winner = max seq" (CanonicalizeBatch) implements the
+  /// per-key FIFO guarantee of strict_async_order.
+  uint64_t seq = 0;
 };
 
 /// Outcome of an access attempt; see Gate::WriterAccess / ReaderAccess.

@@ -8,19 +8,25 @@
 namespace cpma {
 
 std::vector<BatchEntry> CanonicalizeBatch(const std::deque<GateOp>& ops) {
-  // Arrival order decides per-key winners (last op wins), output sorted.
-  // A stable sort by key keeps arrival order inside each key run, so the
-  // run's last element is the winner — one contiguous sort + sweep
-  // instead of a node-per-op std::map on the batch hot path.
+  // Per-key winner = highest enqueue stamp (ISSUE 5), output sorted by
+  // key. Inside one queue arrival order tracks stamp order per
+  // producer, but a master drain concatenates the queues of every gate
+  // its window covers — queues that accumulated at different times — so
+  // deque position alone is not the issue order. Sorting by (key, seq)
+  // stably and keeping each run's last element picks the stamp winner
+  // in one contiguous sort + sweep (the pre-stamp code was the same
+  // shape keyed on arrival order; unstamped entries, seq 0, keep it as
+  // the tie-break).
   std::vector<BatchEntry> all;
   all.reserve(ops.size());
   for (const GateOp& op : ops) {
-    all.push_back(
-        BatchEntry{op.key, op.value, op.type == GateOp::Type::kRemove});
+    all.push_back(BatchEntry{op.key, op.value,
+                             op.type == GateOp::Type::kRemove, op.seq});
   }
-  std::stable_sort(
-      all.begin(), all.end(),
-      [](const BatchEntry& a, const BatchEntry& b) { return a.key < b.key; });
+  std::stable_sort(all.begin(), all.end(),
+                   [](const BatchEntry& a, const BatchEntry& b) {
+                     return a.key != b.key ? a.key < b.key : a.seq < b.seq;
+                   });
   std::vector<BatchEntry> out;
   out.reserve(all.size());
   for (size_t i = 0; i < all.size(); ++i) {
@@ -397,67 +403,6 @@ void Rebalancer::ExecuteResize(Snapshot* snap, std::deque<GateOp> extra) {
     snap->gates[g].InvalidateAndRelease();
   }
   pma_->gc_.Retire([snap] { delete snap; });
-}
-
-void Rebalancer::MasterApplyOp(const GateOp& op) {
-  for (;;) {
-    Snapshot* snap = pma_->snapshot_.load(std::memory_order_acquire);
-    size_t gid = snap->index->Lookup(op.key);
-    Gate* gate;
-    for (;;) {
-      gate = &snap->gates[gid];
-      gate->MasterAcquire();
-      if (op.key < gate->low_fence()) {
-        gate->MasterRelease();
-        CPMA_CHECK(gid > 0);
-        --gid;
-      } else if (op.key > gate->high_fence()) {
-        gate->MasterRelease();
-        CPMA_CHECK(gid + 1 < snap->num_gates());
-        ++gid;
-      } else {
-        break;
-      }
-    }
-    size_t trigger = 0;
-    if (pma_->ApplyOpLocal(snap, gate, op, &trigger)) {
-      gate->MasterRelease();
-      return;
-    }
-    // Needs a multi-gate window; expand inline (we are the master).
-    const size_t spg = snap->segments_per_gate;
-    Storage* st = snap->storage.get();
-    const size_t B = st->segment_capacity();
-    DensityBounds bounds(pma_->cfg_.pma, st->num_segments());
-    size_t gb = gid, ge = gid + 1;
-    bool spread = false;
-    for (size_t level = Log2Floor(spg); level <= bounds.root_level();
-         ++level) {
-      size_t b, e;
-      WindowAt(trigger, level, &b, &e);
-      AcquireGates(snap, b / spg, e / spg, &gb, &ge);
-      size_t m = 0;
-      for (size_t s = b; s < e; ++s) m += st->card(s);
-      const size_t cap = (e - b) * B;
-      if (static_cast<double>(m) / static_cast<double>(cap) <=
-              bounds.Tau(level) &&
-          m + (e - b) <= cap) {
-        ExecuteSpread(snap, b, e, trigger);
-        UpdateFences(snap, b / spg, e / spg);
-        pma_->stat_global_rebalances_.fetch_add(1,
-                                                std::memory_order_relaxed);
-        spread = true;
-        break;
-      }
-    }
-    if (spread) {
-      ReleaseGates(snap, gb, ge);
-      continue;  // retry the op from the top (fences moved)
-    }
-    AcquireGates(snap, 0, snap->num_gates(), &gb, &ge);
-    ExecuteResize(snap, {op});
-    return;  // op merged during the resize
-  }
 }
 
 size_t Rebalancer::SegmentsForCount(size_t count) const {

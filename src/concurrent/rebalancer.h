@@ -36,8 +36,9 @@
 
 namespace cpma {
 
-/// Collapse a combining queue (arrival order) into a sorted, per-key
-/// last-wins batch.
+/// Collapse a combining queue into a sorted, per-key last-wins batch;
+/// "last" is decided by the ops' enqueue stamps (GateOp::seq), falling
+/// back to arrival order for unstamped (seq 0) entries.
 std::vector<BatchEntry> CanonicalizeBatch(const std::deque<GateOp>& ops);
 
 class Rebalancer {
@@ -124,10 +125,11 @@ class Rebalancer {
   /// publishes a new snapshot and invalidates the old gates.
   void ExecuteResize(Snapshot* snap, std::deque<GateOp> extra = {});
 
-  /// Master-as-client apply for ops that escaped their gate after
-  /// fences moved: acquires the (single) target gate with master
-  /// privileges (never blocks on transferred gates).
-  void MasterApplyOp(const GateOp& op);
+  // (MasterApplyOp, a master-as-client apply for escaped ops, was
+  // removed in ISSUE 5: it acquired gates WITHOUT draining their
+  // combining queues before ExecuteSpread moved fences — the one code
+  // path that could violate the "fences never move over a non-empty
+  // queue" ordering invariant. It was never called.)
 
   /// Smallest valid segment count for `count` elements (power of two,
   /// >= 2 gates, density <= 0.6).

@@ -27,6 +27,12 @@ struct BatchEntry {
   Key key;
   Value value;
   bool is_delete;
+  /// Enqueue sequence of the winning GateOp (ISSUE 5): carried through
+  /// batch canonicalization so a remainder that is re-queued after a
+  /// partial application competes against fresh ops under its original
+  /// stamp, not a fabricated one. 0 for entries built outside the async
+  /// dispatch layer (tests, benches) — a stamped op always wins over 0.
+  uint64_t seq = 0;
 };
 
 }  // namespace cpma

@@ -1,15 +1,34 @@
-// Stress-label soak (ROADMAP item, ISSUE 3): a mixed read/write/batch
-// workload that churns the concurrent PMA for a configurable wall-clock
-// budget while readers continuously scan and point-look-up. Writers own
-// disjoint key strides (key % W == w), so despite full concurrency every
-// writer knows its exact surviving set at the end and the final state is
-// checked key-by-key, on top of the structural invariants.
+// Stress-label soak (ROADMAP item, ISSUE 3; per-key order checking
+// added in ISSUE 5): a mixed read/write/batch workload that churns the
+// concurrent PMA for a configurable wall-clock budget while readers
+// continuously scan and point-look-up. Writers own disjoint key strides
+// (key % W == w), so despite full concurrency every writer knows its
+// exact surviving set at the end and the final state is checked
+// key-by-key, on top of the structural invariants.
+//
+// Two checking regimes, matching the two §3.5 ordering contracts:
+//
+//  - strict (default, strict_async_order on): writers issue bursts of
+//    consecutive ops on the SAME key with no Flush anywhere in the
+//    storm — multiple ops per key in flight through combining queues,
+//    rebalancer merges and resizes. Per-key FIFO guarantees the final
+//    state is exactly the last issued op per key, and the soak asserts
+//    it (plus that the reroute path never fired).
+//  - relaxed (strict_async_order off, the pre-ISSUE-5 contract): a
+//    queued op re-dispatched after a fence-moving rebalance can be
+//    overtaken by a later op on the same key, so exact checking is only
+//    sound with at most one in-flight op per key: never re-touch a key
+//    within a phase, Flush() between phases.
 //
 // Gated out of tier-1 by duration, not by label: the default budget is
-// short enough for CI (the `stress` ctest label stays green in seconds);
-// set CPMA_SOAK_MS for hours-scale runs, e.g.
+// short enough for CI (the `stress` ctest label stays green in
+// seconds); set CPMA_SOAK_MS for minutes/hours-scale runs, e.g.
 //
 //   CPMA_SOAK_MS=3600000 build/tests/test_stress_soak
+//
+// With CPMA_SOAK_JSON=<path> each soak appends one JSON record (JSONL)
+// of its knobs and counters — the artifact the nightly workflow
+// uploads.
 
 #include <gtest/gtest.h>
 
@@ -17,6 +36,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,20 +58,54 @@ int64_t SoakBudgetMs() {
 
 struct SoakParam {
   ConcurrentConfig::AsyncMode mode;
+  bool strict;
   const char* name;
 };
 
-class StressSoak : public ::testing::TestWithParam<SoakParam> {};
-
-TEST_P(StressSoak, MixedChurnKeepsInvariants) {
+ConcurrentConfig SoakConfig(const SoakParam& p) {
   ConcurrentConfig cfg;
   cfg.pma.segment_capacity = 32;
   cfg.segments_per_gate = 4;
   cfg.rebalancer_workers = 2;
-  cfg.async_mode = GetParam().mode;
+  cfg.async_mode = p.mode;
   cfg.t_delay_ms = 2;
   cfg.parallel_rebalance_min_gates = 2;
-  ConcurrentPMA pma(cfg);
+  cfg.strict_async_order = p.strict;
+  return cfg;
+}
+
+void AppendSoakJson(const SoakParam& p, int64_t budget_ms, size_t survivors,
+                    uint64_t reads, const ConcurrentPMA& pma) {
+  const char* path = std::getenv("CPMA_SOAK_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  std::fprintf(
+      f,
+      "{\"bench\": \"stress_soak\", \"mode\": \"%s\", "
+      "\"strict_async_order\": %s, \"budget_ms\": %lld, "
+      "\"survivors\": %zu, \"reads\": %llu, \"queued_ops\": %llu, "
+      "\"reroutes\": %llu, \"local_rebalances\": %llu, "
+      "\"global_rebalances\": %llu, \"resizes\": %llu, "
+      "\"batches\": %llu, \"read_fallbacks\": %llu}\n",
+      p.name, p.strict ? "true" : "false",
+      static_cast<long long>(budget_ms), survivors,
+      static_cast<unsigned long long>(reads),
+      static_cast<unsigned long long>(pma.num_queued_ops()),
+      static_cast<unsigned long long>(pma.num_reroutes()),
+      static_cast<unsigned long long>(pma.num_local_rebalances()),
+      static_cast<unsigned long long>(pma.num_global_rebalances()),
+      static_cast<unsigned long long>(pma.num_resizes()),
+      static_cast<unsigned long long>(pma.num_batches()),
+      static_cast<unsigned long long>(pma.num_read_fallbacks()));
+  std::fclose(f);
+}
+
+class StressSoak : public ::testing::TestWithParam<SoakParam> {};
+
+TEST_P(StressSoak, MixedChurnKeepsInvariants) {
+  const SoakParam param = GetParam();
+  ConcurrentPMA pma(SoakConfig(param));
 
   constexpr int kWriters = 3;
   constexpr int kReaders = 2;
@@ -59,47 +113,68 @@ TEST_P(StressSoak, MixedChurnKeepsInvariants) {
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> reads{0};
-  // Final per-writer value for each surviving key (0 = removed).
-  std::vector<std::map<Key, Value>> survivors(kWriters);
+  // Final expected state per key: a value, or nullopt for removed.
+  std::vector<std::map<Key, std::optional<Value>>> last(kWriters);
 
   std::vector<std::thread> writers;
   for (int w = 0; w < kWriters; ++w) {
     writers.emplace_back([&, w] {
       Random rng(1000 + static_cast<uint64_t>(w));
       Timer timer;
-      std::map<Key, Value> mine;
+      auto& mine = last[static_cast<size_t>(w)];
+      if (param.strict) {
+        // Strict per-key FIFO: free-running bursts on the same key, no
+        // Flush — the exact workload the relaxed contract cannot
+        // survive (ISSUE 5 tentpole).
+        Value ctr = 0;
+        while (timer.ElapsedSeconds() * 1000.0 <
+               static_cast<double>(budget_ms)) {
+          for (int i = 0; i < 256;) {
+            const Key k = rng.NextBounded(1 << 16) * kWriters +
+                          static_cast<Key>(w);
+            const int burst = 1 + static_cast<int>(rng.NextBounded(4));
+            for (int b = 0; b < burst && i < 256; ++b, ++i) {
+              if (rng.NextBounded(4) == 0) {
+                pma.Remove(k);
+                mine[k] = std::nullopt;
+              } else {
+                const Value v = ++ctr;
+                pma.Insert(k, v);
+                mine[k] = v;
+              }
+            }
+          }
+        }
+        return;
+      }
+      // Relaxed (pre-ISSUE-5) contract: at most one in-flight op per
+      // key — never re-touch a key within a phase, Flush between the
+      // insert and remove phases.
       uint64_t tick = 0;
+      std::map<Key, Value> owned;
       while (timer.ElapsedSeconds() * 1000.0 <
              static_cast<double>(budget_ms)) {
         ++tick;
-        // Async modes only order ops on the same key while they share a
-        // combining queue; once a multi-gate rebalance moves fences, a
-        // queued op is re-dispatched and a LATER op on that key can
-        // overtake it (paper §3.5: updates complete asynchronously).
-        // Exact final-state checking is therefore only sound with at
-        // most one in-flight op per key: never re-touch a key within a
-        // phase, and Flush() between phases.
         for (int i = 0; i < 256; ++i) {
           const Key k =
               (rng.NextBounded(1 << 16)) * kWriters + static_cast<Key>(w);
-          if (mine.count(k) != 0) continue;
+          if (owned.count(k) != 0) continue;
           const Value v = tick * 1000 + static_cast<Value>(i);
           pma.Insert(k, v);
-          mine[k] = v;
+          owned[k] = v;
         }
         pma.Flush();  // inserts land before their keys may be removed
-        // Delete a random half of what this writer owns.
-        for (auto it = mine.begin(); it != mine.end();) {
+        for (auto it = owned.begin(); it != owned.end();) {
           if (rng.NextBounded(2) == 0) {
             pma.Remove(it->first);
-            it = mine.erase(it);
+            it = owned.erase(it);
           } else {
             ++it;
           }
         }
         pma.Flush();  // removes land before the keys may be re-inserted
       }
-      survivors[static_cast<size_t>(w)] = std::move(mine);
+      for (const auto& [k, v] : owned) mine[k] = v;
     });
   }
 
@@ -133,33 +208,52 @@ TEST_P(StressSoak, MixedChurnKeepsInvariants) {
 
   std::string err;
   ASSERT_TRUE(pma.CheckInvariants(&err)) << err;
+  if (param.strict) {
+    // The hand-off path makes re-dispatches structurally impossible.
+    EXPECT_EQ(pma.num_reroutes(), 0u);
+  }
   size_t expected = 0;
   for (int w = 0; w < kWriters; ++w) {
-    expected += survivors[static_cast<size_t>(w)].size();
-    for (const auto& [k, v] : survivors[static_cast<size_t>(w)]) {
+    for (const auto& [k, v] : last[static_cast<size_t>(w)]) {
       Value got = 0;
-      ASSERT_TRUE(pma.Find(k, &got)) << "writer " << w << " key " << k;
-      ASSERT_EQ(got, v) << "writer " << w << " key " << k;
+      const bool found = pma.Find(k, &got);
+      if (v.has_value()) {
+        ++expected;
+        ASSERT_TRUE(found) << "writer " << w << " key " << k;
+        ASSERT_EQ(got, *v) << "writer " << w << " key " << k;
+      } else {
+        ASSERT_FALSE(found) << "writer " << w << " removed key " << k;
+      }
     }
   }
   EXPECT_EQ(pma.Size(), expected);
   EXPECT_GT(reads.load(), 0u);
-  std::printf("[soak] mode=%s budget_ms=%lld survivors=%zu reads=%llu "
-              "rebal(local=%llu global=%llu resizes=%llu batches=%llu)\n",
-              GetParam().name, static_cast<long long>(budget_ms), expected,
-              static_cast<unsigned long long>(reads.load()),
-              static_cast<unsigned long long>(pma.num_local_rebalances()),
-              static_cast<unsigned long long>(pma.num_global_rebalances()),
-              static_cast<unsigned long long>(pma.num_resizes()),
-              static_cast<unsigned long long>(pma.num_batches()));
+  std::printf(
+      "[soak] mode=%s budget_ms=%lld survivors=%zu reads=%llu "
+      "reroutes=%llu rebal(local=%llu global=%llu resizes=%llu "
+      "batches=%llu)\n",
+      param.name, static_cast<long long>(budget_ms), expected,
+      static_cast<unsigned long long>(reads.load()),
+      static_cast<unsigned long long>(pma.num_reroutes()),
+      static_cast<unsigned long long>(pma.num_local_rebalances()),
+      static_cast<unsigned long long>(pma.num_global_rebalances()),
+      static_cast<unsigned long long>(pma.num_resizes()),
+      static_cast<unsigned long long>(pma.num_batches()));
+  AppendSoakJson(param, budget_ms, expected, reads.load(), pma);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Modes, StressSoak,
     ::testing::Values(
-        SoakParam{ConcurrentConfig::AsyncMode::kSync, "sync"},
-        SoakParam{ConcurrentConfig::AsyncMode::kOneByOne, "1by1"},
-        SoakParam{ConcurrentConfig::AsyncMode::kBatch, "batch"}),
+        SoakParam{ConcurrentConfig::AsyncMode::kSync, true, "sync"},
+        SoakParam{ConcurrentConfig::AsyncMode::kOneByOne, true, "1by1"},
+        SoakParam{ConcurrentConfig::AsyncMode::kBatch, true, "batch"},
+        SoakParam{ConcurrentConfig::AsyncMode::kSync, false,
+                  "sync_relaxed"},
+        SoakParam{ConcurrentConfig::AsyncMode::kOneByOne, false,
+                  "1by1_relaxed"},
+        SoakParam{ConcurrentConfig::AsyncMode::kBatch, false,
+                  "batch_relaxed"}),
     [](const ::testing::TestParamInfo<SoakParam>& info) {
       return std::string(info.param.name);
     });
