@@ -142,6 +142,19 @@ void Report(BenchJson* json, const ConcurrentPMA& pma, const Knobs& k,
   if (!k.strict) rec.Bool("strict_async_order", false);
   rec.Int("reroutes", pma.num_reroutes());
 #endif
+#if defined(CPMA_EBR_STATS)
+  // Epoch-reclamation observability (ISSUE 6, all VOLATILE): garbage
+  // still pending, the retired-bytes high-water mark, and how often the
+  // epoch advanced / the collector ran during the measured reps.
+  {
+    const EpochGCStats ebr = pma.ebr_stats();
+    rec.Int("ebr_pending", ebr.pending_count)
+        .Int("ebr_pending_bytes", ebr.pending_bytes)
+        .Int("ebr_retired_bytes_hwm", ebr.retired_bytes_hwm)
+        .Int("ebr_epoch_advances", ebr.epoch_advances)
+        .Int("ebr_collections", ebr.collections);
+  }
+#endif
 }
 
 /// Per-thread key streams, generated OUTSIDE the timed region: Zipf

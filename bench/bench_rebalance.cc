@@ -32,6 +32,9 @@ using bench::Flags;
 struct Best {
   double mops = 0;      // millions of elements (or ops) per second
   double seconds = 0;   // duration of the best repetition
+#if defined(CPMA_EBR_STATS)
+  EpochGCStats ebr;     // reclamation counters of the best rep's PMA
+#endif
 };
 
 template <typename Fn>
@@ -191,6 +194,9 @@ void BenchAsyncBatchInsert(BenchJson* json, uint64_t ops, uint64_t threads,
     if (res.update_mops > best.mops) {
       best.mops = res.update_mops;
       best.seconds = res.seconds;
+#if defined(CPMA_EBR_STATS)
+      best.ebr = pma.ebr_stats();
+#endif
     }
   }
   bench::JsonRecord& rec =
@@ -199,6 +205,16 @@ void BenchAsyncBatchInsert(BenchJson* json, uint64_t ops, uint64_t threads,
   // matching pre-ISSUE-5 baselines (bench_diff identity is field-exact),
   // while --strict=0 A/B records get their own identity.
   if (!strict) rec.Bool("strict_async_order", false);
+#if defined(CPMA_EBR_STATS)
+  // Epoch-reclamation observability for the best rep (ISSUE 6, all
+  // VOLATILE): resize-path snapshot retirement is the big-ticket
+  // byte-accounted garbage this workload produces.
+  rec.Int("ebr_pending", best.ebr.pending_count)
+      .Int("ebr_pending_bytes", best.ebr.pending_bytes)
+      .Int("ebr_retired_bytes_hwm", best.ebr.retired_bytes_hwm)
+      .Int("ebr_epoch_advances", best.ebr.epoch_advances)
+      .Int("ebr_collections", best.ebr.collections);
+#endif
 }
 
 void BenchScanGuard(BenchJson* json, uint64_t reps) {

@@ -190,6 +190,10 @@ class Flags {
 // per measured workload — the knobs that produced the number next to the
 // number itself, plus the git sha and the hot-path dispatch — so
 // BENCH_*.json trajectories can be tracked across PRs (ROADMAP).
+// Concurrent-PMA drivers also attach observability counters (storage
+// publish mechanism, optimistic read path, and — since ISSUE 6 — the
+// ebr_* epoch-reclamation stats); every such field is VOLATILE for
+// scripts/bench_diff.py, never part of a record's identity.
 // bench_micro routes the same flag through google-benchmark's native
 // JSON reporter instead (see bench_micro.cc).
 

@@ -36,12 +36,16 @@ METRICS = {
 # The storage/read-path observability fields (ISSUE 4: page size and
 # publish mechanism a run actually used, optimistic-path counters) are
 # measurements, not knobs — they must not split identities between runs
-# or between trees with/without the optimistic read path.
+# or between trees with/without the optimistic read path. The ebr_*
+# fields (ISSUE 6: epoch-reclamation counters) are likewise
+# measurements and non-gating.
 VOLATILE = {
     "git_sha", "dispatch", "seconds", "date", "items_per_rep",
     "rewired", "rewiring_active", "page_bytes", "backing_page_bytes",
     "num_remaps", "fallback_copies", "read_fallbacks",
     "optimistic_gate_reads", "optimistic_retries", "reroutes",
+    "ebr_pending", "ebr_pending_bytes", "ebr_retired_bytes_hwm",
+    "ebr_epoch_advances", "ebr_collections",
 }
 
 

@@ -31,6 +31,27 @@ namespace {
 constexpr size_t kMappingSlots = 1 << 20;
 }  // namespace
 
+void BwTree::FreeChain(void* head) {
+  const void* c = head;
+  while (static_cast<const NodeHeader*>(c)->kind != NodeHeader::Kind::kBase) {
+    const auto* d = static_cast<const Delta*>(c);
+    c = d->next;
+    delete d;
+  }
+  delete static_cast<const Base*>(c);
+}
+
+size_t BwTree::ChainBytes(const void* head) {
+  size_t bytes = 0;
+  const void* c = head;
+  while (static_cast<const NodeHeader*>(c)->kind != NodeHeader::Kind::kBase) {
+    bytes += sizeof(Delta);
+    c = static_cast<const Delta*>(c)->next;
+  }
+  const auto* base = static_cast<const Base*>(c);
+  return bytes + sizeof(Base) + base->items.capacity() * sizeof(Item);
+}
+
 BwTree::BwTree() : mapping_(kMappingSlots) {
   auto* base = new Base();
   const uint64_t id = next_node_id_.fetch_add(1);
@@ -273,16 +294,7 @@ bool BwTree::ConsolidateOnce(uint64_t node_id, void* head) {
   if (mapping_[node_id].compare_exchange_strong(
           head, fresh, std::memory_order_acq_rel)) {
     stat_consolidations_.fetch_add(1, std::memory_order_relaxed);
-    gc_.Retire([head] {
-      const void* c = head;
-      while (static_cast<const NodeHeader*>(c)->kind !=
-             NodeHeader::Kind::kBase) {
-        const auto* d = static_cast<const Delta*>(c);
-        c = d->next;
-        delete d;
-      }
-      delete static_cast<const Base*>(c);
-    });
+    gc_.Retire(&BwTree::FreeChain, head, ChainBytes(head));
     return true;
   }
   delete fresh;  // someone else prepended or consolidated first
@@ -328,16 +340,7 @@ void BwTree::Split(uint64_t node_id, Key low, Key high, uint64_t right_id) {
     routing_[upper->low] = upper_id;
   }
   stat_consolidations_.fetch_add(1, std::memory_order_relaxed);
-  gc_.Retire([head] {
-    const void* c = head;
-    while (static_cast<const NodeHeader*>(c)->kind !=
-           NodeHeader::Kind::kBase) {
-      const auto* d = static_cast<const Delta*>(c);
-      c = d->next;
-      delete d;
-    }
-    delete static_cast<const Base*>(c);
-  });
+  gc_.Retire(&BwTree::FreeChain, head, ChainBytes(head));
 }
 
 uint64_t BwTree::SumAll() const {

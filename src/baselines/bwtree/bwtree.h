@@ -61,6 +61,13 @@ class BwTree : public OrderedMap {
   static constexpr size_t kMaxEntries = 256;  // split threshold
   static constexpr size_t kMaxChain = 8;      // consolidation threshold
 
+  /// Free a retired delta chain (deltas, then the base). Matches
+  /// EpochGC's raw free-function overload so chain retirement allocates
+  /// one intrusive garbage node and no std::function.
+  static void FreeChain(void* head);
+  /// Approximate heap footprint of a chain for the bytes watermark.
+  static size_t ChainBytes(const void* head);
+
   /// Node id owning `key` (via the routing map).
   uint64_t RouteTo(Key key) const;
 

@@ -89,6 +89,7 @@
 // ordering contract (ISSUE 5).
 #define CPMA_OPTIMISTIC_READ_PATH 1
 #define CPMA_STRICT_ASYNC_ORDER 1
+#define CPMA_EBR_STATS 1
 
 namespace cpma {
 
@@ -170,6 +171,15 @@ class ConcurrentPMA : public OrderedMap {
   /// Effective async ordering contract (config, possibly overridden by
   /// CPMA_STRICT_ASYNC at construction). True = per-key FIFO.
   bool strict_async_order() const { return strict_async_order_; }
+
+  /// Epoch-reclamation counters (§3.4): pending/retired/freed garbage,
+  /// retired-bytes high-water mark, epoch advances, collector passes.
+  /// Surfaced into bench JSON and the nightly soak artifact.
+  EpochGCStats ebr_stats() const { return gc_.Stats(); }
+
+  /// Direct access to the reclamation subsystem (tests: parked-reader
+  /// soaks drive Collect() and the collector stepping hooks).
+  EpochGC& epoch_gc() const { return gc_; }
 
   /// Ops re-dispatched through the index after losing their gate to a
   /// fence move or resize. Structurally zero under strict_async_order

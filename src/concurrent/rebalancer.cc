@@ -402,7 +402,14 @@ void Rebalancer::ExecuteResize(Snapshot* snap, std::deque<GateOp> extra) {
   for (size_t g = 0; g < snap->num_gates(); ++g) {
     snap->gates[g].InvalidateAndRelease();
   }
-  pma_->gc_.Retire([snap] { delete snap; });
+  // Byte-accounted retirement (§3.4): the snapshot's dominant footprint
+  // is its storage (live region + rebalance buffer), so a parked reader
+  // pinning a few multi-MB snapshots trips the bytes watermark long
+  // before the count watermark would notice.
+  const size_t snap_bytes = sizeof(Snapshot) +
+                            2 * snap->storage->capacity() * sizeof(Item) +
+                            snap->num_gates() * sizeof(Gate);
+  pma_->gc_.Retire(snap, snap_bytes);
 }
 
 size_t Rebalancer::SegmentsForCount(size_t count) const {

@@ -80,6 +80,11 @@ void AppendSoakJson(const SoakParam& p, int64_t budget_ms, size_t survivors,
   if (path == nullptr || path[0] == '\0') return;
   std::FILE* f = std::fopen(path, "a");
   if (f == nullptr) return;
+  // EBR stats (ISSUE 6): the retired-bytes high-water mark and the
+  // pending max are how a long soak proves reclamation stayed bounded
+  // over hours of churn — the nightly workflow graphs these from the
+  // uploaded JSONL.
+  const EpochGCStats ebr = pma.ebr_stats();
   std::fprintf(
       f,
       "{\"bench\": \"stress_soak\", \"mode\": \"%s\", "
@@ -87,7 +92,10 @@ void AppendSoakJson(const SoakParam& p, int64_t budget_ms, size_t survivors,
       "\"survivors\": %zu, \"reads\": %llu, \"queued_ops\": %llu, "
       "\"reroutes\": %llu, \"local_rebalances\": %llu, "
       "\"global_rebalances\": %llu, \"resizes\": %llu, "
-      "\"batches\": %llu, \"read_fallbacks\": %llu}\n",
+      "\"batches\": %llu, \"read_fallbacks\": %llu, "
+      "\"ebr_pending\": %llu, \"ebr_pending_bytes\": %llu, "
+      "\"ebr_retired_bytes_hwm\": %llu, \"ebr_retired_bytes\": %llu, "
+      "\"ebr_epoch_advances\": %llu, \"ebr_collections\": %llu}\n",
       p.name, p.strict ? "true" : "false",
       static_cast<long long>(budget_ms), survivors,
       static_cast<unsigned long long>(reads),
@@ -97,7 +105,13 @@ void AppendSoakJson(const SoakParam& p, int64_t budget_ms, size_t survivors,
       static_cast<unsigned long long>(pma.num_global_rebalances()),
       static_cast<unsigned long long>(pma.num_resizes()),
       static_cast<unsigned long long>(pma.num_batches()),
-      static_cast<unsigned long long>(pma.num_read_fallbacks()));
+      static_cast<unsigned long long>(pma.num_read_fallbacks()),
+      static_cast<unsigned long long>(ebr.pending_count),
+      static_cast<unsigned long long>(ebr.pending_bytes),
+      static_cast<unsigned long long>(ebr.retired_bytes_hwm),
+      static_cast<unsigned long long>(ebr.retired_bytes),
+      static_cast<unsigned long long>(ebr.epoch_advances),
+      static_cast<unsigned long long>(ebr.collections));
   std::fclose(f);
 }
 
