@@ -26,6 +26,13 @@
 #include "concurrent/concurrent_pma.h"
 #include "driver.h"
 
+// Feature macro lives in concurrent_pma.h; on pre-ISSUE-7 trees (the
+// relative bench gate grafts this driver onto the previous commit)
+// neither the macro nor the failpoint header exists.
+#if defined(CPMA_FAULT_TOLERANCE)
+#include "common/failpoint.h"
+#endif
+
 namespace cpma {
 namespace {
 
@@ -154,6 +161,17 @@ void Report(BenchJson* json, const ConcurrentPMA& pma, const Knobs& k,
         .Int("ebr_epoch_advances", ebr.epoch_advances)
         .Int("ebr_collections", ebr.collections);
   }
+#endif
+#if defined(CPMA_FAULT_TOLERANCE)
+  // Fault-tolerance observability (ISSUE 7, all VOLATILE): whether the
+  // run measured the copy-publish fallback backend, and the degradation
+  // counters — a healthy fault-free bench run must report zeros here,
+  // which is exactly what makes a nonzero in a perf regression report
+  // diagnostic (the "regression" was a degraded run, not a slower tree).
+  rec.Bool("fallback_backend_active", pma.fallback_backend_active())
+      .Int("failpoint_fires", failpoint::TotalFires())
+      .Int("rebalance_retries", pma.num_rebalance_retries())
+      .Int("watchdog_trips", pma.num_watchdog_trips());
 #endif
 }
 

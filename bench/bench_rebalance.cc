@@ -19,6 +19,13 @@
 
 #include "concurrent/concurrent_pma.h"
 #include "driver.h"
+
+// Feature macro lives in concurrent_pma.h; on pre-ISSUE-7 trees (the
+// relative bench gate grafts this driver onto the previous commit)
+// neither the macro nor the failpoint header exists.
+#if defined(CPMA_FAULT_TOLERANCE)
+#include "common/failpoint.h"
+#endif
 #include "pma/sequential_pma.h"
 #include "pma/spread.h"
 #include "pma/storage.h"
@@ -34,6 +41,13 @@ struct Best {
   double seconds = 0;   // duration of the best repetition
 #if defined(CPMA_EBR_STATS)
   EpochGCStats ebr;     // reclamation counters of the best rep's PMA
+#endif
+#if defined(CPMA_FAULT_TOLERANCE)
+  // Degradation counters of the best rep's PMA (the PMA is per-rep, so
+  // they are captured alongside the throughput they would explain).
+  bool fallback_backend_active = false;
+  uint64_t rebalance_retries = 0;
+  uint64_t watchdog_trips = 0;
 #endif
 };
 
@@ -197,6 +211,11 @@ void BenchAsyncBatchInsert(BenchJson* json, uint64_t ops, uint64_t threads,
 #if defined(CPMA_EBR_STATS)
       best.ebr = pma.ebr_stats();
 #endif
+#if defined(CPMA_FAULT_TOLERANCE)
+      best.fallback_backend_active = pma.fallback_backend_active();
+      best.rebalance_retries = pma.num_rebalance_retries();
+      best.watchdog_trips = pma.num_watchdog_trips();
+#endif
     }
   }
   bench::JsonRecord& rec =
@@ -214,6 +233,15 @@ void BenchAsyncBatchInsert(BenchJson* json, uint64_t ops, uint64_t threads,
       .Int("ebr_retired_bytes_hwm", best.ebr.retired_bytes_hwm)
       .Int("ebr_epoch_advances", best.ebr.epoch_advances)
       .Int("ebr_collections", best.ebr.collections);
+#endif
+#if defined(CPMA_FAULT_TOLERANCE)
+  // Fault-tolerance observability (ISSUE 7, all VOLATILE): a fault-free
+  // bench run reports zeros; a nonzero flags a degraded run so a perf
+  // delta can be attributed before anyone chases a phantom regression.
+  rec.Bool("fallback_backend_active", best.fallback_backend_active)
+      .Int("failpoint_fires", failpoint::TotalFires())
+      .Int("rebalance_retries", best.rebalance_retries)
+      .Int("watchdog_trips", best.watchdog_trips);
 #endif
 }
 

@@ -46,6 +46,11 @@ VOLATILE = {
     "optimistic_gate_reads", "optimistic_retries", "reroutes",
     "ebr_pending", "ebr_pending_bytes", "ebr_retired_bytes_hwm",
     "ebr_epoch_advances", "ebr_collections",
+    # Fault-tolerance observability (ISSUE 7): degradation counters a
+    # healthy run reports as zeros/false — diagnostics for attributing a
+    # perf delta to a degraded run, never part of a workload's identity.
+    "fallback_backend_active", "failpoint_fires", "rebalance_retries",
+    "watchdog_trips",
 }
 
 

@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <new>
+
+#include "common/failpoint.h"
 
 #if defined(__linux__)
 #include <sys/syscall.h>
@@ -123,7 +126,8 @@ EpochGC::~EpochGC() {
   }
   const size_t n = num_chunks_.load(std::memory_order_acquire);
   for (size_t c = 0; c < n; ++c) {
-    delete chunks_[c].load(std::memory_order_acquire);
+    SlotChunk* chunk = chunks_[c].load(std::memory_order_acquire);
+    if (chunk != &emergency_chunk_) delete chunk;
   }
 }
 
@@ -142,16 +146,43 @@ EpochSlot* EpochGC::TryClaimSlot() {
 
 EpochSlot* EpochGC::RegisterThread() {
   if (EpochSlot* s = TryClaimSlot()) return s;
-  std::lock_guard<std::mutex> g(grow_mu_);
-  // Another thread may have grown the table while we waited for the lock.
-  if (EpochSlot* s = TryClaimSlot()) return s;
-  const size_t n = num_chunks_.load(std::memory_order_relaxed);
-  CPMA_CHECK_MSG(n < kMaxChunks, "EpochGC: thread limit exceeded");
-  auto* chunk = new SlotChunk();
-  chunk->slots[0].in_use.store(true, std::memory_order_relaxed);
-  chunks_[n].store(chunk, std::memory_order_release);
-  num_chunks_.store(n + 1, std::memory_order_release);
-  return &chunk->slots[0];
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> g(grow_mu_);
+      // Another thread may have grown the table while we waited for the
+      // lock.
+      if (EpochSlot* s = TryClaimSlot()) return s;
+      const size_t n = num_chunks_.load(std::memory_order_relaxed);
+      SlotChunk* chunk = nullptr;
+      if (n < kMaxChunks) {
+        if (!CPMA_FAILPOINT("epoch_gc.slot_chunk")) {
+          chunk = new (std::nothrow) SlotChunk();
+        }
+        if (chunk == nullptr && !emergency_chunk_used_) {
+          // Chunk allocation failed (real bad_alloc or injected fault):
+          // install the embedded reserve so registration still succeeds
+          // under memory pressure.
+          std::fprintf(stderr,
+                       "cpma: EpochGC slot-chunk allocation failed; "
+                       "installing emergency reserve chunk\n");
+          chunk = &emergency_chunk_;
+          emergency_chunk_used_ = true;
+        }
+      }
+      if (chunk != nullptr) {
+        chunk->slots[0].in_use.store(true, std::memory_order_relaxed);
+        chunks_[n].store(chunk, std::memory_order_release);
+        num_chunks_.store(n + 1, std::memory_order_release);
+        return &chunk->slots[0];
+      }
+    }
+    // Last rung: the table is at capacity (or growth keeps failing with
+    // the reserve spent). Wait for an exiting thread to recycle its slot
+    // instead of aborting — registration is a slow path and the process
+    // staying up beats a crash at the thread ceiling.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (EpochSlot* s = TryClaimSlot()) return s;
+  }
 }
 
 void EpochGC::Retire(std::function<void()> deleter, size_t bytes) {

@@ -337,6 +337,14 @@ class EpochGC {
   std::atomic<size_t> num_chunks_{0};
   std::mutex grow_mu_;
 
+  // Degradation reserve for RegisterThread: when growing the chunk table
+  // fails (real bad_alloc or the epoch_gc.slot_chunk failpoint), this
+  // embedded chunk is installed instead so registration still succeeds
+  // once under memory pressure; after that, registration waits for a
+  // recycled slot rather than aborting. Must not be delete'd (~EpochGC).
+  SlotChunk emergency_chunk_;
+  bool emergency_chunk_used_ = false;  // guarded by grow_mu_
+
   // Aggregate stats (per-slot pending counts are also tracked here so
   // Stats() needs no slot walk).
   std::atomic<uint64_t> pending_count_{0};

@@ -1,0 +1,305 @@
+#include "common/failpoint.h"
+
+#if CPMA_FAILPOINTS_ENABLED
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+namespace cpma {
+namespace failpoint {
+
+namespace internal {
+std::atomic<int> g_armed{0};
+}  // namespace internal
+
+namespace {
+
+enum class Policy : unsigned char {
+  kOff = 0,
+  kAlways,
+  kTimes,  // fire on the first n_ hits, then recover (once = times:1)
+  kNth,    // fire on every n_-th hit
+  kProb,   // fire with probability prob_, seeded rng
+};
+
+struct Site {
+  Policy policy = Policy::kOff;
+  uint64_t n = 0;          // times/nth parameter
+  double prob = 0.0;       // prob parameter
+  uint64_t rng = 0;        // splitmix64 state (prob policy)
+  uint64_t hits = 0;       // evaluations since this site was first seen
+  uint64_t fires = 0;      // reported failures
+};
+
+// Keyed by interned site name; std::map nodes are pointer-stable, so the
+// key's c_str() is a safe thread_local LastFired value for the process
+// lifetime.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Site> sites;
+  std::atomic<uint64_t> total_fires{0};
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // leaked: usable during shutdown
+  return *r;
+}
+
+thread_local const char* t_last_fired = nullptr;
+
+// splitmix64: tiny, seedable, deterministic — policy evaluation must be
+// reproducible from (seed, per-site hit sequence) alone.
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Parses "spec" into `out`. Grammar in failpoint.h.
+bool ParseSpec(const char* spec, Site* out) {
+  if (spec == nullptr) return false;
+  std::string s(spec);
+  auto starts_with = [&](const char* p) {
+    return s.rfind(p, 0) == 0;
+  };
+  if (s == "off") {
+    out->policy = Policy::kOff;
+    return true;
+  }
+  if (s == "always") {
+    out->policy = Policy::kAlways;
+    return true;
+  }
+  if (s == "once") {
+    out->policy = Policy::kTimes;
+    out->n = 1;
+    return true;
+  }
+  if (starts_with("times:") || starts_with("nth:")) {
+    const bool times = starts_with("times:");
+    const char* num = s.c_str() + (times ? 6 : 4);
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(num, &end, 10);
+    if (end == num || *end != '\0' || v == 0) return false;
+    out->policy = times ? Policy::kTimes : Policy::kNth;
+    out->n = static_cast<uint64_t>(v);
+    return true;
+  }
+  if (starts_with("prob:")) {
+    const char* rest = s.c_str() + 5;
+    char* end = nullptr;
+    double p = std::strtod(rest, &end);
+    if (end == rest || p < 0.0 || p > 1.0) return false;
+    uint64_t seed = 0;
+    if (*end == ':') {
+      const char* seed_str = end + 1;
+      char* seed_end = nullptr;
+      seed = std::strtoull(seed_str, &seed_end, 10);
+      if (seed_end == seed_str || *seed_end != '\0') return false;
+    } else if (*end != '\0') {
+      return false;
+    }
+    out->policy = Policy::kProb;
+    out->prob = p;
+    out->rng = seed;
+    return true;
+  }
+  return false;
+}
+
+bool IsArmed(const Site& s) { return s.policy != Policy::kOff; }
+
+// One-time CPMA_FAILPOINTS env parse, folded into the first registry
+// access so programmatic Set() before first Evaluate() still wins (env
+// is applied first, Set overwrites).
+void LoadEnvOnce() {
+  static bool done = [] {
+    const char* env = std::getenv("CPMA_FAILPOINTS");
+    if (env != nullptr && env[0] != '\0') {
+      if (!ConfigureFromString(env)) {
+        std::fprintf(stderr,
+                     "cpma: warning: malformed clause in CPMA_FAILPOINTS "
+                     "(\"%s\"); valid clauses were applied\n",
+                     env);
+      }
+    }
+    return true;
+  }();
+  (void)done;
+}
+
+void RecountArmed(Registry& reg) {
+  int armed = 0;
+  for (const auto& kv : reg.sites) {
+    if (IsArmed(kv.second)) ++armed;
+  }
+  internal::g_armed.store(armed, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool Evaluate(const char* site) {
+  LoadEnvOnce();
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) {
+    // Record the hit so KnownSites()/Hits() see unarmed sites too.
+    it = reg.sites.emplace(site, Site{}).first;
+  }
+  Site& s = it->second;
+  s.hits++;
+  bool fire = false;
+  switch (s.policy) {
+    case Policy::kOff:
+      break;
+    case Policy::kAlways:
+      fire = true;
+      break;
+    case Policy::kTimes:
+      if (s.n > 0) {
+        fire = true;
+        if (--s.n == 0) {
+          s.policy = Policy::kOff;  // recovered
+          RecountArmed(reg);
+        }
+      }
+      break;
+    case Policy::kNth:
+      fire = (s.hits % s.n) == 0;
+      break;
+    case Policy::kProb: {
+      const double u =
+          static_cast<double>(SplitMix64(s.rng) >> 11) * 0x1.0p-53;
+      fire = u < s.prob;
+      break;
+    }
+  }
+  if (fire) {
+    s.fires++;
+    reg.total_fires.fetch_add(1, std::memory_order_relaxed);
+    t_last_fired = it->first.c_str();
+  }
+  return fire;
+}
+
+bool Set(const char* site, const char* spec) {
+  if (site == nullptr || site[0] == '\0') return false;
+  Site parsed;
+  if (!ParseSpec(spec, &parsed)) return false;
+  LoadEnvOnce();
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  Site& s = reg.sites[site];
+  // Keep history counters; replace the policy.
+  s.policy = parsed.policy;
+  s.n = parsed.n;
+  s.prob = parsed.prob;
+  s.rng = parsed.rng;
+  RecountArmed(reg);
+  return true;
+}
+
+void Clear(const char* site) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return;
+  it->second.policy = Policy::kOff;
+  RecountArmed(reg);
+}
+
+void ClearAll() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  for (auto& kv : reg.sites) {
+    kv.second = Site{};
+  }
+  reg.total_fires.store(0, std::memory_order_relaxed);
+  internal::g_armed.store(0, std::memory_order_relaxed);
+}
+
+bool ConfigureFromString(const char* config) {
+  if (config == nullptr) return false;
+  bool all_ok = true;
+  const char* p = config;
+  while (*p != '\0') {
+    const char* end = p;
+    while (*end != '\0' && *end != ';' && *end != ',') ++end;
+    std::string clause(p, end);
+    p = (*end == '\0') ? end : end + 1;
+    if (clause.empty()) continue;
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      all_ok = false;
+      continue;
+    }
+    const std::string site = clause.substr(0, eq);
+    const std::string spec = clause.substr(eq + 1);
+    if (!Set(site.c_str(), spec.c_str())) all_ok = false;
+  }
+  return all_ok;
+}
+
+uint64_t Fires(const char* site) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.fires;
+}
+
+uint64_t Hits(const char* site) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+uint64_t TotalFires() {
+  return GetRegistry().total_fires.load(std::memory_order_relaxed);
+}
+
+const char* LastFired() { return t_last_fired; }
+
+std::vector<std::string> KnownSites() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  std::vector<std::string> out;
+  out.reserve(reg.sites.size());
+  for (const auto& kv : reg.sites) out.push_back(kv.first);
+  return out;
+}
+
+}  // namespace failpoint
+}  // namespace cpma
+
+#else  // !CPMA_FAILPOINTS_ENABLED
+
+// Keep the TU non-empty in disabled builds; everything is inline in the
+// header. A process started with CPMA_FAILPOINTS set but the framework
+// compiled out would otherwise silently ignore the request, so warn once
+// from a static initializer.
+#include <cstdio>
+#include <cstdlib>
+
+namespace cpma {
+namespace failpoint {
+namespace {
+const bool g_warned = [] {
+  if (std::getenv("CPMA_FAILPOINTS") != nullptr) {
+    std::fprintf(stderr,
+                 "cpma: warning: CPMA_FAILPOINTS is set but this build was "
+                 "configured with CPMA_ENABLE_FAILPOINTS=OFF; no faults will "
+                 "be injected\n");
+  }
+  return true;
+}();
+}  // namespace
+}  // namespace failpoint
+}  // namespace cpma
+
+#endif  // CPMA_FAILPOINTS_ENABLED

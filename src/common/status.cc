@@ -1,0 +1,32 @@
+#include "common/status.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace cpma {
+
+void CheckFailed(const char* condition, const char* message, const char* file,
+                 int line) {
+  // Capture errno before any stdio call can clobber it.
+  const int err = errno;
+  if (message != nullptr) {
+    std::fprintf(stderr, "CPMA_CHECK failed: %s (%s) at %s:%d\n", condition,
+                 message, file, line);
+  } else {
+    std::fprintf(stderr, "CPMA_CHECK failed: %s at %s:%d\n", condition, file,
+                 line);
+  }
+  if (err != 0) {
+    std::fprintf(stderr, "  errno: %d (%s)\n", err, std::strerror(err));
+  }
+  const char* fp = failpoint::LastFired();
+  if (fp != nullptr) {
+    std::fprintf(stderr, "  last failpoint fired on this thread: %s\n", fp);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace cpma

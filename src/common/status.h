@@ -70,23 +70,28 @@ class Status {
   std::string message_;
 };
 
+/// Terminal handler behind CPMA_CHECK/CPMA_CHECK_MSG (status.cc). Prints
+/// the failed condition, optional detail message, file:line, the calling
+/// thread's errno (checks often guard syscalls, and the raw abort used to
+/// discard the reason), and the most recent failpoint that fired on this
+/// thread — so a crash inside a fault-injection run is attributable to
+/// the injected fault rather than mistaken for a real invariant break.
+[[noreturn]] void CheckFailed(const char* condition, const char* message,
+                              const char* file, int line);
+
 }  // namespace cpma
 
 /// Always-on invariant check; aborts with location info on failure.
-#define CPMA_CHECK(cond)                                                   \
-  do {                                                                     \
-    if (!(cond)) {                                                         \
-      std::fprintf(stderr, "CPMA_CHECK failed: %s at %s:%d\n", #cond,      \
-                   __FILE__, __LINE__);                                    \
-      std::abort();                                                        \
-    }                                                                      \
+#define CPMA_CHECK(cond)                                        \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::cpma::CheckFailed(#cond, nullptr, __FILE__, __LINE__);  \
+    }                                                           \
   } while (0)
 
-#define CPMA_CHECK_MSG(cond, msg)                                          \
-  do {                                                                     \
-    if (!(cond)) {                                                         \
-      std::fprintf(stderr, "CPMA_CHECK failed: %s (%s) at %s:%d\n", #cond, \
-                   msg, __FILE__, __LINE__);                               \
-      std::abort();                                                        \
-    }                                                                      \
+#define CPMA_CHECK_MSG(cond, msg)                               \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::cpma::CheckFailed(#cond, msg, __FILE__, __LINE__);      \
+    }                                                           \
   } while (0)

@@ -1,16 +1,26 @@
 // Fixed-size thread pool. Used by the rebalancer's worker threads and by
 // the parallel resize path. Tasks are std::function thunks; WaitGroup
 // gives callers a count-down barrier to join a batch of tasks.
+//
+// Spawn failures (std::system_error from std::thread, or the
+// threadpool.spawn failpoint) degrade the pool instead of killing the
+// process: the pool runs with however many threads it got, and when it
+// got none at all Submit() executes tasks inline on the caller — slower,
+// still correct.
 
 #pragma once
 
 #include <condition_variable>
+#include <cstdio>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <system_error>
 #include <thread>
 #include <vector>
+
+#include "common/failpoint.h"
 
 namespace cpma {
 
@@ -44,7 +54,24 @@ class ThreadPool {
   explicit ThreadPool(size_t num_threads) {
     threads_.reserve(num_threads);
     for (size_t i = 0; i < num_threads; ++i) {
-      threads_.emplace_back([this] { WorkerLoop(); });
+      if (CPMA_FAILPOINT("threadpool.spawn")) {
+        ++spawn_failures_;
+        continue;
+      }
+      try {
+        threads_.emplace_back([this] { WorkerLoop(); });
+      } catch (const std::system_error&) {
+        // Resource exhaustion (EAGAIN et al.): run degraded with the
+        // threads we have rather than dying.
+        ++spawn_failures_;
+      }
+    }
+    if (spawn_failures_ > 0) {
+      std::fprintf(stderr,
+                   "cpma: ThreadPool spawned %zu/%zu threads (%zu failures); "
+                   "running degraded%s\n",
+                   threads_.size(), num_threads, spawn_failures_,
+                   threads_.empty() ? " (tasks execute inline)" : "");
     }
   }
 
@@ -61,6 +88,12 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   void Submit(std::function<void()> task) {
+    if (threads_.empty()) {
+      // Fully degraded pool: execute on the caller so submitted work
+      // (and any WaitGroup::Done inside it) still completes.
+      task();
+      return;
+    }
     {
       std::lock_guard<std::mutex> g(m_);
       tasks_.push_back(std::move(task));
@@ -69,6 +102,10 @@ class ThreadPool {
   }
 
   size_t num_threads() const { return threads_.size(); }
+
+  /// Threads requested at construction that could not be spawned
+  /// (observability for degraded-mode tests and diagnostics).
+  size_t num_spawn_failures() const { return spawn_failures_; }
 
  private:
   void WorkerLoop() {
@@ -90,6 +127,7 @@ class ThreadPool {
   std::deque<std::function<void()>> tasks_;
   std::vector<std::thread> threads_;
   bool stop_ = false;
+  size_t spawn_failures_ = 0;  // written only during construction
 };
 
 }  // namespace cpma

@@ -97,6 +97,22 @@ ConcurrentPMA::ConcurrentPMA(const ConcurrentConfig& config) : cfg_(config) {
                    env, strict_async_order_ ? 1 : 0);
     }
   }
+  watchdog_ms_ = cfg_.watchdog_ms;
+  if (const char* env = std::getenv("CPMA_WATCHDOG_MS")) {
+    // Strict parse like the knobs above: a typo must not silently arm or
+    // disarm the stall checker.
+    char* end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && errno == 0 && v >= 0) {
+      watchdog_ms_ = static_cast<int64_t>(v);
+    } else if (*env != '\0') {
+      std::fprintf(stderr,
+                   "cpma: ignoring invalid CPMA_WATCHDOG_MS=%s "
+                   "(want a non-negative integer); using %lld\n",
+                   env, static_cast<long long>(watchdog_ms_));
+    }
+  }
   snapshot_.store(BuildInitialSnapshot(), std::memory_order_release);
   rebalancer_ = std::make_unique<Rebalancer>(this, cfg_.rebalancer_workers);
   rebalancer_->Start();
@@ -947,6 +963,33 @@ uint64_t ConcurrentPMA::storage_num_fallback_copies() const {
   EpochGuard guard(gc_);
   return snapshot_.load(std::memory_order_acquire)
       ->storage->num_fallback_copies();
+}
+
+uint64_t ConcurrentPMA::storage_num_remap_failures() const {
+  EpochGuard guard(gc_);
+  return snapshot_.load(std::memory_order_acquire)
+      ->storage->num_remap_failures();
+}
+
+// --------------------------------------------- fault tolerance (ISSUE 7)
+
+bool ConcurrentPMA::fallback_backend_active() const {
+  EpochGuard guard(gc_);
+  return snapshot_.load(std::memory_order_acquire)
+      ->storage->fallback_backend_active();
+}
+
+uint64_t ConcurrentPMA::num_watchdog_trips() const {
+  // Out of line: Rebalancer is incomplete in the header.
+  return rebalancer_->watchdog_trips();
+}
+
+void ConcurrentPMA::ReportError(const Status& status) {
+  {
+    std::lock_guard<std::mutex> lk(error_mu_);
+    last_error_ = status;
+  }
+  if (error_cb_) error_cb_(status);
 }
 
 // ------------------------------------------------------------- lifecycle

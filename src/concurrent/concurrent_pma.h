@@ -73,10 +73,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/epoch_gc.h"
+#include "common/status.h"
 #include "common/ordered_map.h"
 #include "concurrent/gate.h"
 #include "concurrent/static_index.h"
@@ -90,6 +92,7 @@
 #define CPMA_OPTIMISTIC_READ_PATH 1
 #define CPMA_STRICT_ASYNC_ORDER 1
 #define CPMA_EBR_STATS 1
+#define CPMA_FAULT_TOLERANCE 1
 
 namespace cpma {
 
@@ -206,6 +209,47 @@ class ConcurrentPMA : public OrderedMap {
   size_t storage_backing_page_bytes() const;
   uint64_t storage_num_remaps() const;
   uint64_t storage_num_fallback_copies() const;
+  uint64_t storage_num_remap_failures() const;
+
+  // ------------------------------------------- fault tolerance (ISSUE 7)
+
+  /// True when the current snapshot publishes rebalances by copy instead
+  /// of zero-copy remaps: anonymous fallback backend (memfd/mmap denied
+  /// or CPMA_FORCE_NO_REWIRE=1), use_rewiring=false, or a region that
+  /// degraded after a remap publication failure.
+  bool fallback_backend_active() const;
+
+  /// Install a callback fired (from the rebalancer master thread) every
+  /// time a background rebalance exhausts its degradation ladder — the
+  /// affected ops are requeued and retried, so this is a health signal,
+  /// not a data-loss notice. Set under quiescence (before concurrent
+  /// clients exist); pass nullptr to remove.
+  void SetErrorCallback(std::function<void(const Status&)> cb) {
+    error_cb_ = std::move(cb);
+  }
+
+  /// Sticky most-recent background error (Status::OK when none was ever
+  /// reported). A non-OK value with a later successful Flush means the
+  /// condition was transient and every op still applied.
+  Status last_error() const {
+    std::lock_guard<std::mutex> lk(error_mu_);
+    return last_error_;
+  }
+
+  /// Storage allocation retries performed by the rebalancer's resize
+  /// ladder (EpochGC collect + backoff + denser-capacity attempts).
+  uint64_t num_rebalance_retries() const {
+    return stat_rebalance_retries_.load(std::memory_order_relaxed);
+  }
+
+  /// Stall diagnoses emitted by the rebalancer watchdog (0 unless
+  /// watchdog_ms/CPMA_WATCHDOG_MS armed the checker and a rebalance
+  /// exceeded the threshold without progress).
+  uint64_t num_watchdog_trips() const;
+
+  /// Effective watchdog threshold (config, possibly overridden by
+  /// CPMA_WATCHDOG_MS at construction; 0 = disabled).
+  int64_t watchdog_ms() const { return watchdog_ms_; }
 
   /// Structural validation: fences contiguous and sorted, chunk contents
   /// within fences, per-segment sortedness, index separators == fences,
@@ -215,6 +259,10 @@ class ConcurrentPMA : public OrderedMap {
 
  private:
   friend class Rebalancer;
+
+  /// Rebalancer -> client surface: record the sticky error and invoke
+  /// the callback (master thread).
+  void ReportError(const Status& status);
 
   // Shared update entry point for Insert/Remove.
   void Update(GateOp op);
@@ -298,6 +346,8 @@ class ConcurrentPMA : public OrderedMap {
   int optimistic_retries_ = 8;
   // Effective ordering contract (cfg_ value or CPMA_STRICT_ASYNC).
   bool strict_async_order_ = true;
+  // Effective watchdog threshold (cfg_ value or CPMA_WATCHDOG_MS).
+  int64_t watchdog_ms_ = 0;
   // Global enqueue stamp generator; see GateOp::seq.
   std::atomic<uint64_t> seq_gen_{1};
   std::function<void(const GateOp&)> reroute_hook_;
@@ -315,6 +365,12 @@ class ConcurrentPMA : public OrderedMap {
   std::atomic<uint64_t> stat_reroutes_{0};
   mutable std::atomic<uint64_t> stat_read_fallbacks_{0};
   mutable std::atomic<uint64_t> stat_optimistic_gate_reads_{0};
+  std::atomic<uint64_t> stat_rebalance_retries_{0};
+
+  // Background-error surface (ISSUE 7).
+  std::function<void(const Status&)> error_cb_;
+  mutable std::mutex error_mu_;
+  Status last_error_;
 };
 
 }  // namespace cpma

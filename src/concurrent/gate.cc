@@ -203,6 +203,7 @@ void Gate::MasterAcquire() {
   if (state_ == State::kFree) version_.BeginMutate();
   SetState(State::kRebal);
   master_owned_ = true;
+  rebal_stamp_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Gate::MasterRelease() {
@@ -211,6 +212,7 @@ void Gate::MasterRelease() {
   version_.EndMutate();
   SetState(State::kFree);
   master_owned_ = false;
+  rebal_stamp_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_all();
 }
 
@@ -228,6 +230,18 @@ void Gate::MasterClearWriterActive() {
   writer_active_.store(false, std::memory_order_relaxed);
 }
 
+void Gate::MasterRequeue(const std::vector<GateOp>& ops) {
+  std::lock_guard<std::mutex> lk(m_);
+  CPMA_CHECK(state_ == State::kRebal && master_owned_);
+  queue_.insert(queue_.begin(), ops.begin(), ops.end());
+  // The gate reverts to the detached-combiner shape batch mode uses
+  // (writer_active set, queue accumulating, no latch holder after the
+  // master releases): arriving writers enqueue behind the requeued ops —
+  // preserving per-key FIFO — until the rebalancer's deferred retry
+  // drains the queue.
+  writer_active_.store(true, std::memory_order_relaxed);
+}
+
 void Gate::InvalidateAndRelease() {
   std::lock_guard<std::mutex> lk(m_);
   CPMA_CHECK(state_ == State::kRebal && master_owned_);
@@ -242,7 +256,34 @@ void Gate::InvalidateAndRelease() {
   version_.EndMutate();
   SetState(State::kFree);
   master_owned_ = false;
+  rebal_stamp_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_all();
+}
+
+void Gate::DumpStateForStall(std::FILE* out) const {
+  static const char* kStateNames[] = {"FREE", "READ", "WRITE", "REBAL"};
+  const State s = pub_state_.load(std::memory_order_relaxed);
+  char queue_len[24];
+  {
+    std::unique_lock<std::mutex> lk(m_, std::try_to_lock);
+    if (lk.owns_lock()) {
+      std::snprintf(queue_len, sizeof(queue_len), "%zu", queue_.size());
+    } else {
+      std::snprintf(queue_len, sizeof(queue_len), "?(locked)");
+    }
+  }
+  std::fprintf(out,
+               "  gate %u: state=%s writer_active=%d invalidated=%d "
+               "queue=%s fences=[%llu,%llu] segs=[%zu,%zu) stamp=%llu\n",
+               id_, kStateNames[static_cast<int>(s)],
+               writer_active_.load(std::memory_order_relaxed) ? 1 : 0,
+               invalidated_.load(std::memory_order_relaxed) ? 1 : 0,
+               queue_len,
+               static_cast<unsigned long long>(low_fence()),
+               static_cast<unsigned long long>(high_fence()), seg_begin_,
+               seg_end_,
+               static_cast<unsigned long long>(
+                   rebal_stamp_.load(std::memory_order_relaxed)));
 }
 
 void Gate::SetFences(Key low, Key high) {

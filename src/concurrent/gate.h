@@ -45,9 +45,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "common/latches.h"
 #include "common/ordered_map.h"
@@ -166,9 +168,31 @@ class Gate {
   /// detached queue, so the next writer becomes the combiner again.
   void MasterClearWriterActive();
 
+  /// Master (holding the gate): put drained ops back at the front of the
+  /// combining queue — the resize-failure path (ISSUE 7). `ops` must be
+  /// in seq order; writer_active is set so writers arriving after the
+  /// master releases queue behind the requeued ops instead of taking
+  /// ownership and applying a younger op first — the rebalancer owes the
+  /// gate a deferred batch request that drains the queue.
+  void MasterRequeue(const std::vector<GateOp>& ops);
+
   /// Master: mark the gate as belonging to a retired snapshot and wake
   /// everyone (resize path). Also releases the latch.
   void InvalidateAndRelease();
+
+  /// Monotone per-gate progress stamp for the stall watchdog (ISSUE 7):
+  /// bumped on every master-side acquire/release/invalidate edge, so a
+  /// gate whose stamp stops moving while the master is mid-rebalance is
+  /// where the rebalance is stuck.
+  uint64_t rebal_stamp() const {
+    return rebal_stamp_.load(std::memory_order_relaxed);
+  }
+
+  /// Watchdog diagnosis line: state/queue/fence dump for this gate.
+  /// Never blocks — the queue size is read under try_lock and printed as
+  /// "?" when the mutex is held (the point is to debug a stuck rebalance
+  /// without joining it).
+  void DumpStateForStall(std::FILE* out) const;
 
   // ------------------------------------------------- optimistic readers
 
@@ -259,6 +283,7 @@ class Gate {
   std::atomic<Key> low_fence_{kKeyMin};
   std::atomic<Key> high_fence_{kKeySentinel};
   int64_t last_global_rebalance_ms_ = 0;
+  std::atomic<uint64_t> rebal_stamp_{0};
 };
 
 }  // namespace cpma

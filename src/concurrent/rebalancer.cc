@@ -1,7 +1,11 @@
 #include "concurrent/rebalancer.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <new>
 
+#include "common/failpoint.h"
 #include "common/timer.h"
 #include "pma/density.h"
 
@@ -45,6 +49,9 @@ Rebalancer::~Rebalancer() { Stop(); }
 void Rebalancer::Start() {
   if (master_.joinable()) return;
   master_ = std::thread([this] { MasterLoop(); });
+  if (pma_->watchdog_ms_ > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
 void Rebalancer::Stop() {
@@ -56,6 +63,65 @@ void Rebalancer::Stop() {
   }
   cv_.notify_all();
   master_.join();
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(wd_m_);
+      wd_stop_ = true;
+    }
+    wd_cv_.notify_all();
+    watchdog_.join();
+  }
+}
+
+void Rebalancer::Progress(const char* phase) {
+  phase_.store(phase, std::memory_order_relaxed);
+  progress_stamp_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Rebalancer::WatchdogLoop() {
+  const auto interval = std::chrono::milliseconds(pma_->watchdog_ms_);
+  uint64_t last_stamp = progress_stamp_.load(std::memory_order_relaxed);
+  uint64_t stalled_intervals = 0;
+  std::unique_lock<std::mutex> lk(wd_m_);
+  for (;;) {
+    if (wd_cv_.wait_for(lk, interval, [&] { return wd_stop_; })) return;
+    const char* phase = phase_.load(std::memory_order_relaxed);
+    const uint64_t stamp = progress_stamp_.load(std::memory_order_relaxed);
+    if (phase == nullptr || stamp != last_stamp) {
+      last_stamp = stamp;
+      stalled_intervals = 0;
+      continue;
+    }
+    ++stalled_intervals;
+    // Re-dump with exponential rate limiting if the stall persists
+    // (intervals 1, 2, 4, 8, ...), so a wedged master doesn't flood
+    // stderr while still leaving a trail.
+    if ((stalled_intervals & (stalled_intervals - 1)) != 0) continue;
+    watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
+    const size_t gb = active_gb_.load(std::memory_order_relaxed);
+    const size_t ge = active_ge_.load(std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "[cpma] WATCHDOG: rebalancer made no progress for >= %lld ms "
+                 "(phase=%s stamp=%llu window=[%zu,%zu))\n",
+                 static_cast<long long>(pma_->watchdog_ms_ *
+                                        (stalled_intervals + 1)),
+                 phase, static_cast<unsigned long long>(stamp), gb, ge);
+    // Gate-state dump for the active window. The epoch pin keeps the
+    // snapshot alive while we walk its gates; DumpStateForStall never
+    // blocks, so the watchdog cannot join the deadlock it is reporting.
+    EpochGuard guard(pma_->gc_);
+    Snapshot* snap = pma_->snapshot_.load(std::memory_order_acquire);
+    constexpr size_t kMaxDumpGates = 32;
+    const size_t dump_end = std::min({ge, snap->num_gates(),
+                                      gb + kMaxDumpGates});
+    for (size_t g = gb; g < dump_end; ++g) {
+      snap->gates[g].DumpStateForStall(stderr);
+    }
+    if (dump_end < ge && dump_end < snap->num_gates()) {
+      std::fprintf(stderr, "  ... (%zu more gates suppressed)\n",
+                   std::min(ge, snap->num_gates()) - dump_end);
+    }
+  }
 }
 
 void Rebalancer::RequestRebalance(uint64_t version, uint32_t gate_id,
@@ -144,6 +210,15 @@ void Rebalancer::MasterLoop() {
 }
 
 void Rebalancer::Dispatch(const Request& req) {
+  if (CPMA_FAILPOINT("rebalancer.stall")) {
+    // Injected stall (watchdog tests): freeze the master with the phase
+    // set and the stamp unmoving — long enough for several watchdog
+    // samples even under scheduler jitter, or a token pause when the
+    // watchdog is disabled.
+    const int64_t ms = pma_->watchdog_ms_ > 0 ? pma_->watchdog_ms_ * 5 : 10;
+    Progress("stall(injected)");
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
   switch (req.type) {
     case Request::Type::kRebalance:
     case Request::Type::kBatch:
@@ -153,6 +228,7 @@ void Rebalancer::Dispatch(const Request& req) {
       HandleShrink(req);
       break;
   }
+  Progress(nullptr);  // idle: the watchdog stands down
 }
 
 // Gate-version lifecycle across the rebalance protocol (ISSUE 4): every
@@ -166,17 +242,26 @@ void Rebalancer::Dispatch(const Request& req) {
 // explicit version manipulation belongs here.
 void Rebalancer::AcquireGates(Snapshot* snap, size_t nb, size_t ne,
                               size_t* gb, size_t* ge) {
+  // Stamp before every potentially-blocking acquisition: a gate that
+  // never frees leaves the stamp frozen in the "acquire" phase, which is
+  // exactly the diagnosis the watchdog prints.
+  auto acquire = [&](size_t g) {
+    Progress("acquire-gates");
+    snap->gates[g].MasterAcquire();
+  };
   if (*gb == *ge) {  // nothing held yet
-    for (size_t g = nb; g < ne; ++g) snap->gates[g].MasterAcquire();
+    for (size_t g = nb; g < ne; ++g) acquire(g);
     *gb = nb;
     *ge = ne;
-    return;
+  } else {
+    CPMA_CHECK(nb <= *gb && ne >= *ge);
+    for (size_t g = nb; g < *gb; ++g) acquire(g);
+    for (size_t g = *ge; g < ne; ++g) acquire(g);
+    *gb = nb;
+    *ge = ne;
   }
-  CPMA_CHECK(nb <= *gb && ne >= *ge);
-  for (size_t g = nb; g < *gb; ++g) snap->gates[g].MasterAcquire();
-  for (size_t g = *ge; g < ne; ++g) snap->gates[g].MasterAcquire();
-  *gb = nb;
-  *ge = ne;
+  active_gb_.store(*gb, std::memory_order_relaxed);
+  active_ge_.store(*ge, std::memory_order_relaxed);
 }
 
 void Rebalancer::ReleaseGates(Snapshot* snap, size_t gb, size_t ge) {
@@ -205,6 +290,7 @@ void Rebalancer::AcquireGatesAndDrain(Snapshot* snap, size_t nb, size_t ne,
 }
 
 void Rebalancer::HandleWindowWork(const Request& req) {
+  Progress("window:start");
   Snapshot* snap = pma_->snapshot_.load(std::memory_order_acquire);
   if (snap->version != req.version) return;  // resized since: gate retired
   const size_t spg = snap->segments_per_gate;
@@ -241,6 +327,7 @@ void Rebalancer::HandleWindowWork(const Request& req) {
     const double delta =
         static_cast<double>(total) / static_cast<double>(cap);
     if (delta <= bounds.Tau(level) && total + (e - b) <= cap) {
+      Progress("window:spread");
       if (batch.empty()) {
         ExecuteSpread(snap, b, e, trigger);
       } else {
@@ -259,7 +346,9 @@ void Rebalancer::HandleWindowWork(const Request& req) {
       return;
     }
   }
-  // Even the root violates its threshold: resize, merging the batch.
+  // Even the root violates its threshold: resize, merging the batch. On
+  // allocation failure ExecuteResize requeues the drained ops and
+  // releases the gates itself; there is nothing more to do here.
   AcquireGates(snap, 0, snap->num_gates(), &gb, &ge);
   ExecuteResize(snap, std::move(raw));
 }
@@ -276,7 +365,13 @@ void Rebalancer::HandleShrink(const Request& req) {
   for (size_t s = 0; s < st->num_segments(); ++s) total += st->card(s);
   if (static_cast<double>(total) <
       pma_->cfg_.pma.shrink_density * static_cast<double>(st->capacity())) {
-    ExecuteResize(snap);
+    if (!ExecuteResize(snap)) {
+      // Shrink failed on allocation (gates already released by the
+      // failure path): clear the request flag so a future density drop
+      // can ask again — shrinking is an optimization, not a correctness
+      // requirement, so no dedicated retry is scheduled.
+      snap->resize_requested.store(false, std::memory_order_release);
+    }
   } else {
     snap->resize_requested.store(false, std::memory_order_release);
     ReleaseGates(snap, gb, ge);
@@ -319,6 +414,7 @@ void Rebalancer::ExecuteSpread(Snapshot* snap, size_t seg_b, size_t seg_e,
       }
     }
     WaitGroup wg;
+    Progress("spread:copy");
     wg.Add(static_cast<int>(parts.size()));
     for (auto [pb, pe] : parts) {
       workers_.Submit([st, &plan, pb, pe, &wg] {
@@ -327,6 +423,7 @@ void Rebalancer::ExecuteSpread(Snapshot* snap, size_t seg_b, size_t seg_e,
       });
     }
     wg.Wait();
+    Progress("spread:swap");
     wg.Add(static_cast<int>(parts.size()));
     for (auto [pb, pe] : parts) {
       workers_.Submit([st, pb, pe, &wg] {
@@ -356,10 +453,11 @@ void Rebalancer::UpdateFences(Snapshot* snap, size_t gb, size_t ge) {
   RecomputeFences(snap, gb, ge);
 }
 
-void Rebalancer::ExecuteResize(Snapshot* snap, std::deque<GateOp> extra) {
+bool Rebalancer::ExecuteResize(Snapshot* snap, std::deque<GateOp> extra) {
   Storage* st = snap->storage.get();
   // Drain every combining queue; those updates are merged into the new
   // array in one pass (then the queues' gates die with the snapshot).
+  Progress("resize:drain");
   std::deque<GateOp> all_ops = std::move(extra);
   for (size_t g = 0; g < snap->num_gates(); ++g) {
     Gate& gate = snap->gates[g];
@@ -374,25 +472,51 @@ void Rebalancer::ExecuteResize(Snapshot* snap, std::deque<GateOp> extra) {
   const size_t total =
       CountMerged(*st, 0, st->num_segments(), batch, &ins, &del);
 
+  // Everything fallible happens before any mutation of shared state:
+  // storage through the retry/degradation ladder, then the whole new
+  // snapshot (gates, index, fences) under a bad_alloc net. Only once the
+  // replacement exists in full do we publish — a failure at any point
+  // leaves the old snapshot untouched and falls to the requeue path.
+  Progress("resize:alloc");
   const size_t new_segs = SegmentsForCount(total);
-  auto fresh = std::make_unique<Storage>(
-      new_segs, pma_->cfg_.pma.segment_capacity, pma_->cfg_.pma.use_rewiring);
-  MergedStreamInto(*st, batch, total, fresh.get());
-
-  auto* ns = new Snapshot();
-  ns->version = snap->version + 1;
-  ns->segments_per_gate = snap->segments_per_gate;
-  ns->storage = std::move(fresh);
-  const size_t num_gates = new_segs / snap->segments_per_gate;
-  for (size_t g = 0; g < num_gates; ++g) {
-    ns->gates.emplace_back(static_cast<uint32_t>(g),
-                           g * snap->segments_per_gate,
-                           (g + 1) * snap->segments_per_gate);
+  Status status;
+  std::unique_ptr<Storage> fresh =
+      AllocStorageWithRetry(new_segs, total, &status);
+  Snapshot* ns = nullptr;
+  if (fresh != nullptr) {
+    Progress("resize:merge");
+    const size_t got_segs = fresh->num_segments();
+    try {
+      MergedStreamInto(*st, batch, total, fresh.get());
+      ns = new Snapshot();
+      ns->version = snap->version + 1;
+      ns->segments_per_gate = snap->segments_per_gate;
+      ns->storage = std::move(fresh);
+      const size_t num_gates = got_segs / snap->segments_per_gate;
+      for (size_t g = 0; g < num_gates; ++g) {
+        ns->gates.emplace_back(static_cast<uint32_t>(g),
+                               g * snap->segments_per_gate,
+                               (g + 1) * snap->segments_per_gate);
+      }
+      ns->index =
+          std::make_unique<StaticIndex>(num_gates, pma_->cfg_.index_fanout);
+      RecomputeFences(ns, 0, num_gates);
+    } catch (const std::bad_alloc&) {
+      delete ns;
+      ns = nullptr;
+      status = Status::ResourceExhausted(
+          "resize: snapshot metadata allocation failed");
+    }
   }
-  ns->index =
-      std::make_unique<StaticIndex>(num_gates, pma_->cfg_.index_fanout);
-  RecomputeFences(ns, 0, num_gates);
+  if (ns == nullptr) {
+    if (status.ok()) status = Status::ResourceExhausted("resize failed");
+    RequeueAndReschedule(snap, all_ops);
+    pma_->ReportError(status);
+    return false;
+  }
+  consecutive_resize_failures_ = 0;
 
+  Progress("resize:publish");
   pma_->count_.store(total, std::memory_order_relaxed);
   pma_->snapshot_.store(ns, std::memory_order_release);
   pma_->stat_resizes_.fetch_add(1, std::memory_order_relaxed);
@@ -410,6 +534,112 @@ void Rebalancer::ExecuteResize(Snapshot* snap, std::deque<GateOp> extra) {
                             2 * snap->storage->capacity() * sizeof(Item) +
                             snap->num_gates() * sizeof(Gate);
   pma_->gc_.Retire(snap, snap_bytes);
+  return true;
+}
+
+std::unique_ptr<Storage> Rebalancer::AllocStorageWithRetry(size_t new_segs,
+                                                           size_t total,
+                                                           Status* status) {
+  const size_t B = pma_->cfg_.pma.segment_capacity;
+  const bool use_rewiring = pma_->cfg_.pma.use_rewiring;
+  const size_t min_segs = 2 * pma_->cfg_.segments_per_gate;
+  // Rung 1: retry at the target capacity. Between attempts, run an
+  // epoch-GC pass — retired snapshots are the dominant heap consumers,
+  // so a collect is the most likely thing to actually free memory — and
+  // back off briefly to let concurrent frees land.
+  constexpr int kAttempts = 3;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    if (attempt > 0) {
+      pma_->stat_rebalance_retries_.fetch_add(1, std::memory_order_relaxed);
+      pma_->gc_.Collect();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(int64_t{1} << (attempt - 1)));
+    }
+    if (auto s = Storage::TryCreate(new_segs, B, use_rewiring, status)) {
+      return s;
+    }
+  }
+  // Rung 2: degrade to denser (smaller) capacities while the merged
+  // elements still fit with one free slot per segment (MergedStreamInto
+  // needs total <= segs * B; the extra slack keeps the array usable).
+  // A denser array rebalances more often — degraded, not broken.
+  for (size_t segs = new_segs / 2; segs >= min_segs; segs /= 2) {
+    if (total + segs > segs * B) break;
+    pma_->stat_rebalance_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (auto s = Storage::TryCreate(segs, B, use_rewiring, status)) {
+      std::fprintf(stderr,
+                   "[cpma] resize degraded: allocated %zu segments instead "
+                   "of %zu (%s)\n",
+                   segs, new_segs, status->ToString().c_str());
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+void Rebalancer::RequeueAndReschedule(Snapshot* snap,
+                                      const std::deque<GateOp>& ops) {
+  const size_t num_gates = snap->num_gates();
+  // Bucket the drained ops back into their fence-owning gates, in seq
+  // order. All gates are held, so fences cannot move under us; the index
+  // may lag the fences, so walk to the owning neighbour after Lookup
+  // (same protocol as the client paths).
+  std::vector<GateOp> sorted(ops.begin(), ops.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const GateOp& a, const GateOp& b) {
+                     return a.seq < b.seq;
+                   });
+  std::vector<std::vector<GateOp>> per_gate(num_gates);
+  for (const GateOp& op : sorted) {
+    size_t g = std::min(snap->index->Lookup(op.key), num_gates - 1);
+    while (g > 0 && op.key < snap->gates[g].low_fence()) --g;
+    while (g + 1 < num_gates && op.key > snap->gates[g].high_fence()) ++g;
+    per_gate[g].push_back(op);
+  }
+  size_t requeued = 0, affected_gates = 0;
+  for (size_t g = 0; g < num_gates; ++g) {
+    if (per_gate[g].empty()) continue;
+    snap->gates[g].MasterRequeue(per_gate[g]);
+    requeued += per_gate[g].size();
+    ++affected_gates;
+  }
+  // The drain decremented pending_async_ for these ops; they are pending
+  // again now, and Flush() must keep waiting for them.
+  pma_->pending_async_.fetch_add(static_cast<int64_t>(requeued),
+                                 std::memory_order_relaxed);
+
+  const size_t shift = std::min<size_t>(consecutive_resize_failures_, 6);
+  ++consecutive_resize_failures_;
+  const int64_t backoff_ms = std::min<int64_t>(1000, int64_t{10} << shift);
+
+  Progress("resize:requeue");
+  ReleaseGates(snap, 0, num_gates);
+
+  // One deferred retry batch per gate holding requeued ops. Drain()'s
+  // ignore_due_times_ promotes these immediately, so a Flush() blocked
+  // on the requeued ops converges as soon as allocation recovers.
+  if (requeued > 0) {
+    const int64_t due = NowMillis() + backoff_ms;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      for (size_t g = 0; g < num_gates; ++g) {
+        if (per_gate[g].empty()) continue;
+        Request r{Request::Type::kBatch, snap->version,
+                  static_cast<uint32_t>(g), 0, due};
+        if (ignore_due_times_) {
+          ready_.push_back(r);
+        } else {
+          deferred_.push_back(r);
+        }
+      }
+    }
+    cv_.notify_all();
+  }
+  std::fprintf(stderr,
+               "[cpma] resize failed (%zu consecutive): requeued %zu op(s) "
+               "across %zu gate(s), retrying in %lld ms\n",
+               consecutive_resize_failures_, requeued, affected_gates,
+               static_cast<long long>(backoff_ms));
 }
 
 size_t Rebalancer::SegmentsForCount(size_t count) const {

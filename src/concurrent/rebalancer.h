@@ -52,6 +52,11 @@ class Rebalancer {
   void Start();
   void Stop();
 
+  /// Stall diagnoses the watchdog emitted (0 when disabled or healthy).
+  uint64_t watchdog_trips() const {
+    return watchdog_trips_.load(std::memory_order_relaxed);
+  }
+
   /// Writer -> master: the gate (already in REBAL state, ownership
   /// transferred) needs a window rebalance for a pending insertion into
   /// `trigger_seg`.
@@ -85,6 +90,21 @@ class Rebalancer {
 
   void MasterLoop();
   void Dispatch(const Request& req);
+
+  // ------------------------------------------------ stall watchdog (ISSUE 7)
+  //
+  // The master stamps its progress (monotone counter + phase label +
+  // active window) at every dispatch step; a background checker samples
+  // the stamp every watchdog_ms and, when it has not moved while a phase
+  // is active, prints a diagnosis (master phase, window, per-gate state
+  // via Gate::DumpStateForStall) and bumps watchdog_trips_. Detection
+  // only — it never kills or unwedges anything.
+
+  /// Master-side: record forward progress (bumps the stamp, sets the
+  /// phase label; nullptr = idle). Labels must be string literals.
+  void Progress(const char* phase);
+
+  void WatchdogLoop();
 
   /// Unified handler for rebalance and batch requests: walks the
   /// calibrator tree upward from the origin gate, draining the combining
@@ -123,7 +143,29 @@ class Rebalancer {
   /// Full resize: requires *all* gates held ([gb,ge) == [0,num_gates)).
   /// Drains every combining queue, merges those updates plus `extra`,
   /// publishes a new snapshot and invalidates the old gates.
-  void ExecuteResize(Snapshot* snap, std::deque<GateOp> extra = {});
+  ///
+  /// Allocation failures run a degradation ladder (ISSUE 7): EpochGC
+  /// collect + backoff retries, then denser (smaller) capacities. If the
+  /// ladder is exhausted, the drained ops are requeued to their
+  /// fence-owning gates in seq order (per-key FIFO preserved), deferred
+  /// retry batches are scheduled, the gates are released, the error is
+  /// reported through ConcurrentPMA::ReportError, and false is returned
+  /// — no op is lost and the old snapshot stays live.
+  bool ExecuteResize(Snapshot* snap, std::deque<GateOp> extra = {});
+
+  /// The resize ladder's storage allocation: TryCreate with collect +
+  /// backoff retries at `new_segs`, then halving capacities while the
+  /// elements still fit. Returns nullptr (status = last failure) when
+  /// every rung failed.
+  std::unique_ptr<Storage> AllocStorageWithRetry(size_t new_segs,
+                                                 size_t total, Status* status);
+
+  /// Resize-failure recovery: push `ops` back into the combining queues
+  /// of their fence-owning gates (sorted by seq; writer_active is set so
+  /// later writers queue behind them), re-account pending_async_,
+  /// release all gates and schedule deferred retry batches with
+  /// escalating backoff.
+  void RequeueAndReschedule(Snapshot* snap, const std::deque<GateOp>& ops);
 
   // (MasterApplyOp, a master-as-client apply for escaped ops, was
   // removed in ISSUE 5: it acquired gates WITHOUT draining their
@@ -147,6 +189,24 @@ class Rebalancer {
   bool stop_ = false;
   bool ignore_due_times_ = false;  // Drain() mode
   bool processing_ = false;
+
+  // Master-only bookkeeping for the resize degradation ladder: how many
+  // ExecuteResize calls in a row exhausted the ladder (drives the retry
+  // backoff; reset on the first successful resize).
+  size_t consecutive_resize_failures_ = 0;
+
+  // Watchdog state. progress_stamp_/phase_/active window are written by
+  // the master (relaxed) and sampled by the watchdog thread; phase_ only
+  // ever holds string literals so the pointer itself is the value.
+  std::thread watchdog_;
+  std::mutex wd_m_;
+  std::condition_variable wd_cv_;
+  bool wd_stop_ = false;
+  std::atomic<uint64_t> progress_stamp_{0};
+  std::atomic<const char*> phase_{nullptr};
+  std::atomic<size_t> active_gb_{0};
+  std::atomic<size_t> active_ge_{0};
+  std::atomic<uint64_t> watchdog_trips_{0};
 };
 
 }  // namespace cpma

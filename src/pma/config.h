@@ -83,6 +83,16 @@ struct ConcurrentConfig {
   /// CPMA_STRICT_ASYNC environment variable (0 or 1) when set.
   bool strict_async_order = true;
 
+  /// Rebalancer stall watchdog (ISSUE 7). When > 0, a background checker
+  /// thread inside the rebalancer samples the master's monotone progress
+  /// stamp and, if the master is mid-rebalance and the stamp has not
+  /// moved for this many milliseconds, logs a diagnosis (phase, active
+  /// window, per-gate state dumps) to stderr and bumps the
+  /// watchdog_trips counter. Detection only — it never kills or steals
+  /// work. 0 (default) disables the checker. Overridden at construction
+  /// by the CPMA_WATCHDOG_MS environment variable when set.
+  int64_t watchdog_ms = 0;
+
   /// Optimistic read path (ISSUE 4): how many seqlock windows a reader
   /// attempts per gate (failed validations, mutator-active snapshots and
   /// neighbour walks all count) before falling back to the blocking READ

@@ -2,25 +2,67 @@
 
 #include <algorithm>
 #include <cstring>
+#include <new>
+
+#include "common/failpoint.h"
 
 namespace cpma {
 
-Storage::Storage(size_t num_segments, size_t segment_capacity,
-                 bool use_rewiring)
-    : num_segments_(num_segments), segment_capacity_(segment_capacity) {
+bool Storage::Init(size_t num_segments, size_t segment_capacity,
+                   bool use_rewiring, Status* status) {
   CPMA_CHECK(num_segments >= 1);
   CPMA_CHECK(segment_capacity >= 4);
+  num_segments_ = num_segments;
+  segment_capacity_ = segment_capacity;
+  if (CPMA_FAILPOINT("storage.create")) {
+    *status = Status::ResourceExhausted("injected storage.create failure");
+    return false;
+  }
   const size_t bytes = capacity() * sizeof(Item);
-  region_ = RewiredRegion::Create(bytes, bytes);
+  region_ = RewiredRegion::Create(bytes, bytes, /*want_huge_pages=*/true,
+                                  status);
+  if (region_ == nullptr) return false;
   // With use_rewiring == false, SwapWindow always takes the memcpy path,
   // which lets benchmarks compare rewired vs copy-based rebalancing.
   force_copy_ = !use_rewiring;
   items_ = reinterpret_cast<Item*>(region_->data());
   buffer_ = reinterpret_cast<Item*>(region_->buffer());
-  card_.assign(num_segments_, 0);
-  route_.assign(num_segments_, kKeySentinel);
+  try {
+    card_.assign(num_segments_, 0);
+    route_.assign(num_segments_, kKeySentinel);
+    inserts_.assign(num_segments_, 0);
+  } catch (const std::bad_alloc&) {
+    *status = Status::ResourceExhausted(
+        "Storage metadata allocation failed (" +
+        std::to_string(num_segments_) + " segments)");
+    return false;
+  }
   route_[0] = kKeyMin;
-  inserts_.assign(num_segments_, 0);
+  *status = Status::OK();
+  return true;
+}
+
+Storage::Storage(size_t num_segments, size_t segment_capacity,
+                 bool use_rewiring) {
+  Status st;
+  if (!Init(num_segments, segment_capacity, use_rewiring, &st)) {
+    CPMA_CHECK_MSG(false, st.ToString().c_str());
+  }
+}
+
+std::unique_ptr<Storage> Storage::TryCreate(size_t num_segments,
+                                            size_t segment_capacity,
+                                            bool use_rewiring,
+                                            Status* status) {
+  auto s = std::unique_ptr<Storage>(new (std::nothrow) Storage());
+  if (s == nullptr) {
+    *status = Status::ResourceExhausted("Storage object allocation failed");
+    return nullptr;
+  }
+  if (!s->Init(num_segments, segment_capacity, use_rewiring, status)) {
+    return nullptr;
+  }
+  return s;
 }
 
 size_t Storage::RouteSegment(Key key) const {

@@ -32,7 +32,17 @@ namespace cpma {
 
 class Storage {
  public:
+  /// Aborts on allocation failure (callers that cannot degrade: tests,
+  /// the sequential PMA, initial snapshot construction).
   Storage(size_t num_segments, size_t segment_capacity, bool use_rewiring);
+
+  /// Fallible variant for callers with a degradation path (the
+  /// rebalancer's resize). Returns nullptr with `status` set to
+  /// ResourceExhausted when the region or metadata allocation fails (or
+  /// the storage.create failpoint fires); never aborts.
+  static std::unique_ptr<Storage> TryCreate(size_t num_segments,
+                                            size_t segment_capacity,
+                                            bool use_rewiring, Status* status);
 
   Storage(const Storage&) = delete;
   Storage& operator=(const Storage&) = delete;
@@ -80,6 +90,16 @@ class Storage {
   uint64_t num_fallback_copies() const {
     return region_->num_fallback_copies();
   }
+  uint64_t num_remap_failures() const {
+    return region_->num_remap_failures();
+  }
+
+  /// True when publishes go through the copy path rather than zero-copy
+  /// remaps: anonymous fallback backend, use_rewiring=false, or a region
+  /// that degraded after a remap failure.
+  bool fallback_backend_active() const {
+    return force_copy_ || !region_->rewiring_enabled();
+  }
   size_t page_bytes() const { return region_->page_bytes(); }
   size_t backing_page_bytes() const { return region_->backing_page_bytes(); }
 
@@ -87,6 +107,11 @@ class Storage {
   size_t segment_bytes() const { return segment_capacity_ * sizeof(Item); }
 
  private:
+  // Uninitialized shell for TryCreate; Init() does the real work.
+  Storage() = default;
+  bool Init(size_t num_segments, size_t segment_capacity, bool use_rewiring,
+            Status* status);
+
   size_t num_segments_;
   size_t segment_capacity_;
   std::unique_ptr<RewiredRegion> region_;

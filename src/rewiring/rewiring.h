@@ -30,9 +30,17 @@ class RewiredRegion {
   /// Create a region of `region_bytes` plus a buffer of `buffer_bytes`;
   /// both are rounded up to whole pages. `want_huge_pages` requests
   /// transparent huge pages via madvise (best effort).
+  ///
+  /// Degradation ladder: memfd + mmap first; any syscall failure there
+  /// (or CPMA_FORCE_NO_REWIRE=1 in the environment, or the
+  /// rewiring.{memfd,ftruncate,mmap} failpoints) falls back to the
+  /// anonymous plain-allocation backend where SwapPages copies. Only
+  /// when even that allocation fails does Create return nullptr, with
+  /// `status` (when non-null) set to ResourceExhausted.
   static std::unique_ptr<RewiredRegion> Create(size_t region_bytes,
                                                size_t buffer_bytes,
-                                               bool want_huge_pages = true);
+                                               bool want_huge_pages = true,
+                                               Status* status = nullptr);
 
   ~RewiredRegion();
 
@@ -48,8 +56,18 @@ class RewiredRegion {
   size_t page_size() const { return page_size_; }
 
   /// True when real mmap-based rewiring is active (as opposed to the
-  /// memcpy fallback).
-  bool rewiring_enabled() const { return fd_ >= 0; }
+  /// memcpy fallback) and the region has not degraded to copy publishes
+  /// after a remap failure.
+  bool rewiring_enabled() const {
+    return fd_ >= 0 && !degraded_.load(std::memory_order_relaxed);
+  }
+
+  /// True once a remap publication failed and the region permanently
+  /// switched to the tagged-copy publish path (memory stays valid; only
+  /// the zero-copy exchange is lost). Sticky.
+  bool degraded_to_copy() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
 
   /// True iff the given byte range can be swapped by remapping (both
   /// offsets and the length are page aligned and in range).
@@ -76,6 +94,13 @@ class RewiredRegion {
     return num_fallback_copies_.load(std::memory_order_relaxed);
   }
 
+  /// Remap publications that failed (real mmap error or injected fault)
+  /// and were recovered by restoring the old mappings and publishing via
+  /// the tagged-copy path instead.
+  uint64_t num_remap_failures() const {
+    return num_remap_failures_.load(std::memory_order_relaxed);
+  }
+
   /// Mapping granularity (the unit SwapPages exchanges) — sysconf page
   /// size. See backing_page_bytes() for the physical page size.
   size_t page_bytes() const { return page_size_; }
@@ -91,6 +116,16 @@ class RewiredRegion {
  private:
   RewiredRegion() = default;
 
+  // Remap-publication internals (rewired mode only). TrySwapRemap swaps
+  // the backing tables and republishes both ranges with mmap(MAP_FIXED);
+  // on any per-run failure it restores the pre-swap tables and mappings
+  // and returns false so SwapPages can publish by tagged copy instead.
+  bool TrySwapRemap(size_t region_offset, size_t buffer_offset, size_t len);
+  bool RemapRuns(char* base, size_t first_page, size_t pages,
+                 const std::vector<size_t>& backing, size_t lo,
+                 bool allow_failpoints);
+  void DegradeToCopy(const char* reason, int saved_errno);
+
   char* region_ = nullptr;
   char* buffer_ = nullptr;
   size_t region_bytes_ = 0;
@@ -105,6 +140,12 @@ class RewiredRegion {
   // Atomic: parallel rebalance workers swap disjoint partitions.
   std::atomic<uint64_t> num_remaps_{0};
   std::atomic<uint64_t> num_fallback_copies_{0};
+  std::atomic<uint64_t> num_remap_failures_{0};
+
+  // Set once a remap publication failed; all later SwapPages publish by
+  // copy. Workers race to set it (relaxed is fine — it only ever goes
+  // false -> true and the copy path is always correct).
+  std::atomic<bool> degraded_{false};
 };
 
 }  // namespace cpma
