@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +32,26 @@
 // neither the macro nor the failpoint header exists.
 #if defined(CPMA_FAULT_TOLERANCE)
 #include "common/failpoint.h"
+#endif
+
+#if !defined(CPMA_BENCH_LATENCY)
+// Grafted onto a pre-ISSUE-8 tree whose driver.h has no latency
+// histograms / placement fields: stub the API so the sampled loops
+// below compile into the plain ones (Record/Add* become no-ops).
+namespace cpma::bench {
+struct LatencyHistogram {
+  void Record(uint64_t) {}
+  void Merge(const LatencyHistogram&) {}
+  uint64_t count() const { return 0; }
+};
+constexpr size_t kLatencySampleEvery = 32;
+inline uint64_t NowNanos() { return 0; }
+inline JsonRecord& AddLatencyFields(JsonRecord& rec, const std::string&,
+                                    const LatencyHistogram&) {
+  return rec;
+}
+inline JsonRecord& AddPlacementFields(JsonRecord& rec) { return rec; }
+}  // namespace cpma::bench
 #endif
 
 namespace cpma {
@@ -111,7 +132,9 @@ void Preload(ConcurrentPMA* pma, const Knobs& k) {
 }
 
 void Report(BenchJson* json, const ConcurrentPMA& pma, const Knobs& k,
-            const char* workload, const Best& best, const char* metric) {
+            const char* workload, const Best& best, const char* metric,
+            const bench::LatencyHistogram* lat = nullptr,
+            const char* lat_prefix = "op") {
   std::printf("%-20s %3d thr  a=%.1f  %10.3f M%s/s  (best rep %.4fs)\n",
               workload, k.threads, k.alpha, best.mops, metric, best.seconds);
   JsonRecord& rec = json->Add()
@@ -128,6 +151,12 @@ void Report(BenchJson* json, const ConcurrentPMA& pma, const Knobs& k,
   } else {
     rec.Num("update_mops", best.mops);
   }
+  // Sampled per-op tail latency (ISSUE 8; accumulated over ALL reps,
+  // not just the best one — tails from a slow rep are signal, not
+  // noise) and the host placement the numbers were measured on. All
+  // VOLATILE for bench_diff matching.
+  if (lat != nullptr) bench::AddLatencyFields(rec, lat_prefix, *lat);
+  bench::AddPlacementFields(rec);
   // Observability: which publish mechanism / page size / read path this
   // run actually measured (all VOLATILE for bench_diff matching).
   rec.Bool("rewired", pma.config().pma.use_rewiring);
@@ -198,24 +227,36 @@ void BenchFind(BenchJson* json, const Knobs& k) {
   Preload(&pma, k);
   const auto keys = PregenKeys(k, /*salt=*/0);
   std::atomic<uint64_t> found{0};  // defeats DCE, sanity-checked below
+  bench::LatencyHistogram lat;
+  std::mutex lat_mu;
   const Best best = BestOf(k.reps, k.ops, [&] {
     std::vector<std::thread> threads;
     for (int t = 0; t < k.threads; ++t) {
       threads.emplace_back([&, t] {
         PinThisThread(static_cast<unsigned>(t));
         uint64_t local = 0;
+        uint64_t i = 0;
+        bench::LatencyHistogram tl;
         for (Key key : keys[static_cast<size_t>(t)]) {
           Value v;
-          local += pma.Find(key, &v) ? 1 : 0;
+          if ((i++ & (bench::kLatencySampleEvery - 1)) == 0) {
+            const uint64_t t0 = bench::NowNanos();
+            local += pma.Find(key, &v) ? 1 : 0;
+            tl.Record(bench::NowNanos() - t0);
+          } else {
+            local += pma.Find(key, &v) ? 1 : 0;
+          }
         }
         found.fetch_add(local, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(lat_mu);
+        lat.Merge(tl);
       });
     }
     for (auto& t : threads) t.join();
   });
   CPMA_CHECK(found.load() > 0);
   Report(json, pma, k, k.alpha > 0 ? "find_zipf" : "find_uniform", best,
-         "op");
+         "op", &lat);
 }
 
 /// Read-mostly 95/5: 1 insert per 19 lookups, per-thread Zipf streams
@@ -224,6 +265,8 @@ void BenchMixed(BenchJson* json, const Knobs& k) {
   ConcurrentPMA pma(MakeConfig(k));
   Preload(&pma, k);
   const auto keys = PregenKeys(k, /*salt=*/77);
+  bench::LatencyHistogram lat;
+  std::mutex lat_mu;
   const Best best = BestOf(k.reps, k.ops, [&] {
     std::vector<std::thread> threads;
     for (int t = 0; t < k.threads; ++t) {
@@ -231,22 +274,29 @@ void BenchMixed(BenchJson* json, const Knobs& k) {
         PinThisThread(static_cast<unsigned>(t));
         uint64_t sink = 0;
         uint64_t i = 0;
+        bench::LatencyHistogram tl;
         for (Key key : keys[static_cast<size_t>(t)]) {
+          const bool sampled =
+              (i & (bench::kLatencySampleEvery - 1)) == 0;
+          const uint64_t t0 = sampled ? bench::NowNanos() : 0;
           if (++i % 20 == 0) {
             pma.Insert(key, i);
           } else {
             Value v;
             sink += pma.Find(key, &v) ? 1 : 0;
           }
+          if (sampled) tl.Record(bench::NowNanos() - t0);
         }
         volatile uint64_t keep = sink;
         (void)keep;
+        std::lock_guard<std::mutex> lk(lat_mu);
+        lat.Merge(tl);
       });
     }
     for (auto& t : threads) t.join();
     pma.Flush();
   });
-  Report(json, pma, k, "mixed_95_5", best, "op");
+  Report(json, pma, k, "mixed_95_5", best, "op", &lat);
 }
 
 /// Full scans against concurrent writers: each scanner folds the whole
@@ -282,6 +332,8 @@ void BenchScanUnderWrites(BenchJson* json, const Knobs& k,
   });
   Best best;
   double best_writer_mops = 0;
+  bench::LatencyHistogram lat;  // one sample per full scan pass
+  std::mutex lat_mu;
   for (uint64_t r = 0; r < k.reps; ++r) {
     const uint64_t w0 = writer_ops.load(std::memory_order_relaxed);
     Timer timer;
@@ -289,10 +341,15 @@ void BenchScanUnderWrites(BenchJson* json, const Knobs& k,
     for (int t = 0; t < scan_threads; ++t) {
       scanners.emplace_back([&, t] {
         PinThisThread(static_cast<unsigned>(t));
+        bench::LatencyHistogram tl;
         for (uint64_t p = 0; p < scan_passes; ++p) {
+          const uint64_t t0 = bench::NowNanos();
           volatile uint64_t sink = pma.SumAll();
+          tl.Record(bench::NowNanos() - t0);
           (void)sink;
         }
+        std::lock_guard<std::mutex> lk(lat_mu);
+        lat.Merge(tl);
       });
     }
     for (auto& t : scanners) t.join();
@@ -311,7 +368,7 @@ void BenchScanUnderWrites(BenchJson* json, const Knobs& k,
   pma.Flush();
   std::printf("%-20s %3d thr  writer %8.3f Mop/s concurrent\n",
               "  (scan writer)", 1, best_writer_mops);
-  Report(json, pma, k, "scan_under_writes", best, "el");
+  Report(json, pma, k, "scan_under_writes", best, "el", &lat, "scan");
   // Same identity knobs, separate record: the writer's concurrent
   // progress during the best scan repetition. Deliberately emitted as
   // `writer_mops` — a field bench_diff does NOT gate on: one unpinned

@@ -1,0 +1,393 @@
+// Sharded front-end benchmarks (ISSUE 8): sweep shards x threads over
+// the three workload families the sharded design targets —
+//
+//   insert_heavy   pure inserts through the front door (coalescing
+//                  staging -> UpdateBatch runs when --coalesce > 0);
+//   read_mostly    95/5 find/insert, per-thread zipf streams;
+//   scan_under_write  ordered full-range Scan() while writer threads
+//                  keep inserting — range mode concatenates shard
+//                  scans, hash mode exercises the k-way cursor merge
+//                  (ascending order is CPMA_CHECKed on every pass).
+//
+// `--frontend=bare,sharded` also runs the identical workload against a
+// bare ConcurrentPMA: the bare vs sharded(shards=1) pair measures the
+// router + front-door overhead, which the PR's acceptance bar caps at
+// 5% (BENCH_PR8.json).
+//
+//   build/bench/bench_sharded --shards=1,2,4 --threads=1,2,4
+//       --coalesce=32 --json=BENCH_PR8.json
+//   build/bench/bench_sharded --partition=hash --what=scan_under_write
+//
+// Every record carries the host placement fields (host_cpus/host_cores/
+// smt/pin_order): a scaling curve is only interpretable next to the
+// core count it ran on.
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "concurrent/concurrent_pma.h"
+#include "driver.h"
+#include "sharded/sharded_pma.h"
+
+namespace cpma {
+namespace {
+
+using bench::BenchJson;
+using bench::Flags;
+using bench::JsonRecord;
+using bench::LatencyHistogram;
+
+struct Knobs {
+  uint64_t ops;
+  uint64_t preload;
+  uint64_t range;
+  double alpha;
+  uint64_t reps;
+  uint64_t seed;
+  std::string mode;       // sync | 1by1 | batch
+  std::string partition;  // range | hash
+  uint64_t coalesce;
+  uint64_t age_ms;
+  bool pin;
+};
+
+ConcurrentConfig ShardCfg(const Knobs& k) {
+  ConcurrentConfig cfg;
+  cfg.async_mode = ConcurrentConfig::AsyncMode::kSync;
+  if (k.mode == "1by1") cfg.async_mode = ConcurrentConfig::AsyncMode::kOneByOne;
+  if (k.mode == "batch") cfg.async_mode = ConcurrentConfig::AsyncMode::kBatch;
+  return cfg;
+}
+
+std::unique_ptr<OrderedMap> MakeMap(const Knobs& k, bool sharded,
+                                    size_t shards) {
+  if (!sharded) return std::make_unique<ConcurrentPMA>(ShardCfg(k));
+  ShardedConfig cfg;
+  cfg.shard = ShardCfg(k);
+  cfg.num_shards = shards;
+  cfg.partition = k.partition == "hash" ? ShardedConfig::Partition::kHash
+                                        : ShardedConfig::Partition::kRange;
+  cfg.coalesce_ops = k.coalesce;
+  cfg.coalesce_age_ms = static_cast<int64_t>(k.age_ms);
+  cfg.pin_workers = k.pin;
+  return std::make_unique<ShardedPMA>(cfg);
+}
+
+std::vector<std::vector<Key>> PregenKeys(const Knobs& k, int threads,
+                                         uint64_t salt) {
+  std::vector<std::vector<Key>> keys(static_cast<size_t>(threads));
+  const uint64_t n = k.ops / static_cast<uint64_t>(threads);
+  for (int t = 0; t < threads; ++t) {
+    Random rng(k.seed + salt + static_cast<uint64_t>(t));
+    auto dist = k.alpha > 0 ? KeyDistribution::Zipf(k.range, k.alpha)
+                            : KeyDistribution::Uniform(k.range);
+    auto& v = keys[static_cast<size_t>(t)];
+    v.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) v.push_back(dist.Sample(rng));
+  }
+  return keys;
+}
+
+void Preload(OrderedMap* map, const Knobs& k, int threads) {
+  std::vector<std::thread> loaders;
+  for (int t = 0; t < threads; ++t) {
+    loaders.emplace_back([&, t] {
+      Random rng(k.seed + 5000 + static_cast<uint64_t>(t));
+      auto dist = KeyDistribution::Uniform(k.range);
+      const uint64_t n = k.preload / static_cast<uint64_t>(threads);
+      for (uint64_t i = 0; i < n; ++i) map->Insert(dist.Sample(rng), i);
+    });
+  }
+  for (auto& t : loaders) t.join();
+  map->Flush();
+}
+
+JsonRecord& Report(BenchJson* json, OrderedMap* map, const Knobs& k,
+                   const char* workload, bool sharded, size_t shards,
+                   int threads, double metric_value,
+                   const char* metric_name, double seconds,
+                   const LatencyHistogram& lat, const char* lat_prefix) {
+  std::printf("%-17s %-7s s=%zu %2d thr  %10.3f M/s  (best rep %.4fs)\n",
+              workload, sharded ? "sharded" : "bare", shards, threads,
+              metric_value, seconds);
+  JsonRecord& rec =
+      json->Add()
+          .Str("workload", workload)
+          .Str("frontend", sharded ? "sharded" : "bare")
+          .Str("partition", sharded ? k.partition : "none")
+          .Int("shards", sharded ? shards : 1)
+          .Int("threads", static_cast<uint64_t>(threads))
+          .Str("mode", k.mode)
+          .Int("coalesce", sharded ? k.coalesce : 0)
+          .Int("age_ms", sharded ? k.age_ms : 0)
+          .Num("alpha", k.alpha)
+          .Int("range", k.range)
+          .Int("preload", k.preload)
+          .Int("ops", k.ops)
+          .Num("seconds", seconds)
+          .Num(metric_name, metric_value);
+  bench::AddLatencyFields(rec, lat_prefix, lat);
+  bench::AddPlacementFields(rec);
+  if (sharded) {
+    // Aggregated fleet observability (all VOLATILE): background work,
+    // read-path health, degradation, and the front door's own flow.
+    const auto st = static_cast<ShardedPMA*>(map)->GetStats();
+    rec.Int("agg_global_rebalances", st.global_rebalances)
+        .Int("agg_resizes", st.resizes)
+        .Int("agg_read_fallbacks", st.read_fallbacks)
+        .Int("agg_reroutes", st.reroutes)
+        .Int("agg_degraded_shards", st.degraded_shards)
+        .Int("ebr_pending", st.ebr.pending_count)
+        .Int("ebr_retired_bytes_hwm", st.ebr.retired_bytes_hwm)
+        .Int("coalesced_flushes", st.coalesced_flushes)
+        .Int("coalesced_ops", st.coalesced_ops)
+        .Int("age_flushes", st.age_flushes)
+        .Int("direct_ops", st.direct_ops);
+  }
+  return rec;
+}
+
+/// Pure inserts through the front door. Returns best-rep Mops.
+void BenchInsertHeavy(BenchJson* json, const Knobs& k, bool sharded,
+                      size_t shards, int threads) {
+  auto map = MakeMap(k, sharded, shards);
+  Preload(map.get(), k, threads);
+  const auto keys = PregenKeys(k, threads, /*salt=*/0);
+  LatencyHistogram lat;
+  std::mutex lat_mu;
+  double best_mops = 0, best_secs = 0;
+  for (uint64_t r = 0; r < k.reps; ++r) {
+    Timer timer;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < threads; ++t) {
+      ts.emplace_back([&, t] {
+        PinThisThread(static_cast<unsigned>(t));
+        LatencyHistogram tl;
+        uint64_t i = 0;
+        for (Key key : keys[static_cast<size_t>(t)]) {
+          if ((i & (bench::kLatencySampleEvery - 1)) == 0) {
+            const uint64_t t0 = bench::NowNanos();
+            map->Insert(key, i);
+            tl.Record(bench::NowNanos() - t0);
+          } else {
+            map->Insert(key, i);
+          }
+          ++i;
+        }
+        std::lock_guard<std::mutex> lk(lat_mu);
+        lat.Merge(tl);
+      });
+    }
+    for (auto& t : ts) t.join();
+    map->Flush();
+    const double secs = timer.ElapsedSeconds();
+    const double mops = static_cast<double>(k.ops) / secs / 1e6;
+    if (mops > best_mops) {
+      best_mops = mops;
+      best_secs = secs;
+    }
+  }
+  Report(json, map.get(), k, "insert_heavy", sharded, shards, threads,
+         best_mops, "update_mops", best_secs, lat, "update");
+}
+
+/// 95/5 find/insert, per-thread zipf streams.
+void BenchReadMostly(BenchJson* json, const Knobs& k, bool sharded,
+                     size_t shards, int threads) {
+  auto map = MakeMap(k, sharded, shards);
+  Preload(map.get(), k, threads);
+  const auto keys = PregenKeys(k, threads, /*salt=*/77);
+  LatencyHistogram lat;
+  std::mutex lat_mu;
+  std::atomic<uint64_t> found{0};
+  double best_mops = 0, best_secs = 0;
+  for (uint64_t r = 0; r < k.reps; ++r) {
+    Timer timer;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < threads; ++t) {
+      ts.emplace_back([&, t] {
+        PinThisThread(static_cast<unsigned>(t));
+        LatencyHistogram tl;
+        uint64_t sink = 0, i = 0;
+        for (Key key : keys[static_cast<size_t>(t)]) {
+          const bool sampled = (i & (bench::kLatencySampleEvery - 1)) == 0;
+          const uint64_t t0 = sampled ? bench::NowNanos() : 0;
+          if (++i % 20 == 0) {
+            map->Insert(key, i);
+          } else {
+            Value v;
+            sink += map->Find(key, &v) ? 1 : 0;
+          }
+          if (sampled) tl.Record(bench::NowNanos() - t0);
+        }
+        found.fetch_add(sink, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(lat_mu);
+        lat.Merge(tl);
+      });
+    }
+    for (auto& t : ts) t.join();
+    map->Flush();
+    const double secs = timer.ElapsedSeconds();
+    const double mops = static_cast<double>(k.ops) / secs / 1e6;
+    if (mops > best_mops) {
+      best_mops = mops;
+      best_secs = secs;
+    }
+  }
+  CPMA_CHECK(found.load() > 0);
+  Report(json, map.get(), k, "read_mostly", sharded, shards, threads,
+         best_mops, "update_mops", best_secs, lat, "op");
+}
+
+/// Ordered full-range Scan() passes (ascending order CPMA_CHECKed)
+/// while `threads` writers keep inserting. Range mode: shard
+/// concatenation; hash mode: k-way cursor merge.
+void BenchScanUnderWrite(BenchJson* json, const Knobs& k, bool sharded,
+                         size_t shards, int threads,
+                         uint64_t scan_passes) {
+  auto map = MakeMap(k, sharded, shards);
+  Preload(map.get(), k, threads);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < threads; ++t) {
+    writers.emplace_back([&, t] {
+      PinThisThread(static_cast<unsigned>(1 + t));
+      Random rng(k.seed + 999 + static_cast<uint64_t>(t));
+      auto dist = KeyDistribution::Uniform(k.range);
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        map->Insert(dist.Sample(rng), i++);
+        if (i % 4096 == 0) std::this_thread::yield();
+      }
+    });
+  }
+  LatencyHistogram lat;
+  double best_meps = 0, best_secs = 0;
+  for (uint64_t r = 0; r < k.reps; ++r) {
+    Timer timer;
+    uint64_t elements = 0;
+    for (uint64_t p = 0; p < scan_passes; ++p) {
+      Key prev = 0;
+      bool first = true;
+      uint64_t n = 0;
+      const uint64_t t0 = bench::NowNanos();
+      map->Scan(kKeyMin, kKeyMax, [&](Key key, Value) {
+        CPMA_CHECK_MSG(first || key > prev,
+                       "sharded scan emitted keys out of order");
+        first = false;
+        prev = key;
+        ++n;
+        return true;
+      });
+      lat.Record(bench::NowNanos() - t0);
+      elements += n;
+    }
+    const double secs = timer.ElapsedSeconds();
+    const double meps = static_cast<double>(elements) / secs / 1e6;
+    if (meps > best_meps) {
+      best_meps = meps;
+      best_secs = secs;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
+  map->Flush();
+  Report(json, map.get(), k, "scan_under_write", sharded, shards, threads,
+         best_meps, "scan_meps", best_secs, lat, "scan");
+}
+
+std::vector<uint64_t> ParseList(const std::string& s) {
+  std::vector<uint64_t> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t comma = s.find(',', pos);
+    const size_t end = comma == std::string::npos ? s.size() : comma;
+    out.push_back(std::stoull(s.substr(pos, end - pos)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+bool WantToken(const std::string& list, const std::string& name) {
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    const size_t comma = list.find(',', pos);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    if (list.compare(pos, end - pos, name) == 0) return true;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
+}  // namespace cpma
+
+int main(int argc, char** argv) {
+  using namespace cpma;
+  bench::Flags flags(argc, argv);
+  bench::BenchJson json(flags, "sharded");
+
+  Knobs k;
+  k.ops = flags.GetInt("ops", 1000000);
+  k.preload = flags.GetInt("preload", 500000);
+  k.range = flags.GetInt("range", 1ull << 21);
+  k.alpha = std::stod(flags.Get("alpha", "0"));
+  k.reps = flags.GetInt("reps", 3);
+  k.seed = flags.GetInt("seed", 42);
+  k.mode = flags.Get("mode", "batch");
+  k.partition = flags.Get("partition", "range");
+  k.coalesce = flags.GetInt("coalesce", 32);
+  k.age_ms = flags.GetInt("age_ms", 2);
+  k.pin = flags.GetInt("pin", 1) != 0;
+  const uint64_t scan_passes = flags.GetInt("scan_passes", 4);
+  const std::string what =
+      flags.Get("what", "insert_heavy,read_mostly,scan_under_write");
+  const std::string frontends = flags.Get("frontend", "bare,sharded");
+  const auto shard_list = ParseList(flags.Get("shards", "1,2,4"));
+  const auto thread_list = ParseList(flags.Get("threads", "1,2,4"));
+
+  std::printf("# bench_sharded ops=%llu preload=%llu partition=%s "
+              "coalesce=%llu mode=%s %s\n",
+              static_cast<unsigned long long>(k.ops),
+              static_cast<unsigned long long>(k.preload),
+              k.partition.c_str(),
+              static_cast<unsigned long long>(k.coalesce), k.mode.c_str(),
+              TopologySummary().c_str());
+
+  auto run_cell = [&](bool sharded, size_t shards, int threads) {
+    if (WantToken(what, "insert_heavy")) {
+      BenchInsertHeavy(&json, k, sharded, shards, threads);
+    }
+    if (WantToken(what, "read_mostly")) {
+      BenchReadMostly(&json, k, sharded, shards, threads);
+    }
+    if (WantToken(what, "scan_under_write")) {
+      BenchScanUnderWrite(&json, k, sharded, shards, threads, scan_passes);
+    }
+  };
+
+  // Bare baseline: one cell per thread count (the shards axis does not
+  // exist) — the parity reference for sharded s=1.
+  if (WantToken(frontends, "bare")) {
+    for (const uint64_t t : thread_list) {
+      run_cell(/*sharded=*/false, /*shards=*/1, static_cast<int>(t));
+    }
+  }
+  if (WantToken(frontends, "sharded")) {
+    for (const uint64_t s : shard_list) {
+      for (const uint64_t t : thread_list) {
+        run_cell(/*sharded=*/true, static_cast<size_t>(s),
+                 static_cast<int>(t));
+      }
+    }
+  }
+
+  return json.Write() ? 0 : 1;
+}

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -29,6 +31,11 @@
 #ifndef CPMA_GIT_SHA
 #define CPMA_GIT_SHA "unknown"
 #endif
+
+// Feature macro for grafted bench sources (relative bench gate): a
+// driver.h with sampled latency histograms + placement fields defines
+// it; bench_*.cc grafted onto older trees stub the API out.
+#define CPMA_BENCH_LATENCY 1
 
 namespace cpma::bench {
 
@@ -65,10 +72,83 @@ struct WorkloadConfig {
   uint64_t seed = 42;
 };
 
+// ------------------------------------------------------- latency (ISSUE 8)
+//
+// Throughput alone hides tail pathologies: a rebalance stall or a
+// coalescing-buffer age flush shows up as a p99.9 spike long before it
+// moves the mean. Every workload therefore samples per-op latency into
+// a log-bucketed histogram (4 sub-buckets per power of two — <= 19%
+// relative bucket width — 64 octaves, so the whole uint64 ns range fits
+// in 256 counters) and the drivers report p50/p99/p999 per op type in
+// their JSON records. Sampled (1 op in 32), not exhaustive: two clock
+// reads per sampled op keeps the probe overhead ~3% of ops instead of
+// doubling the cost of a 100ns upsert.
+
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 256;
+
+  void Record(uint64_t ns) {
+    ++buckets_[BucketOf(ns)];
+    ++count_;
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+  }
+
+  uint64_t count() const { return count_; }
+
+  /// Upper bound (ns) of the bucket holding the p-quantile sample,
+  /// p in [0, 1]. 0 when the histogram is empty.
+  uint64_t PercentileNs(double p) const {
+    if (count_ == 0) return 0;
+    uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count_));
+    if (rank >= count_) rank = count_ - 1;
+    uint64_t seen = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen > rank) return BucketHighNs(b);
+    }
+    return BucketHighNs(kNumBuckets - 1);
+  }
+
+ private:
+  static int BucketOf(uint64_t ns) {
+    if (ns < 4) return static_cast<int>(ns);
+    const int msb = 63 - __builtin_clzll(ns);
+    return (msb << 2) |
+           static_cast<int>((ns >> (msb - 2)) & 3);  // 2 mantissa bits
+  }
+  static uint64_t BucketHighNs(int b) {
+    if (b < 4) return static_cast<uint64_t>(b);
+    const int msb = b >> 2;
+    const uint64_t low = (1ull << msb) |
+                         (static_cast<uint64_t>(b & 3) << (msb - 2));
+    return low + (1ull << (msb - 2)) - 1;
+  }
+
+  uint64_t buckets_[kNumBuckets] = {};
+  uint64_t count_ = 0;
+};
+
+/// Sample 1 op in kLatencySampleEvery (power of two) for the histogram.
+constexpr size_t kLatencySampleEvery = 32;
+
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 struct WorkloadResult {
   double update_mops = 0;   // updates per second, millions
   double scan_meps = 0;     // scanned elements per second, millions
   double seconds = 0;
+  LatencyHistogram update_lat;  // sampled (1/32) per-update latency
+  LatencyHistogram scan_lat;    // one sample per full scan pass
 };
 
 /// Run one cell of Figure 3: `update_threads` updaters apply num_ops
@@ -100,16 +180,29 @@ inline WorkloadResult RunWorkload(OrderedMap* map,
   std::atomic<uint64_t> update_count{0};
   std::vector<std::thread> threads;
 
+  WorkloadResult r;
+  std::mutex lat_mu;  // serializes per-thread histogram merges at exit
+
   Timer timer;
   for (int t = 0; t < cfg.update_threads; ++t) {
     threads.emplace_back([&, t] {
       PinThisThread(static_cast<unsigned>(t));
       Random rng(cfg.seed + static_cast<uint64_t>(t));
       auto dist = MakeDist(cfg.dist, cfg.key_range);
+      LatencyHistogram lat;
+      auto insert_sampled = [&](size_t i, Key key, Value value) {
+        if ((i & (kLatencySampleEvery - 1)) == 0) {
+          const uint64_t t0 = NowNanos();
+          map->Insert(key, value);
+          lat.Record(NowNanos() - t0);
+        } else {
+          map->Insert(key, value);
+        }
+      };
       const size_t n = cfg.num_ops / static_cast<size_t>(cfg.update_threads);
       if (!cfg.mixed) {
         for (size_t i = 0; i < n; ++i) {
-          map->Insert(dist.Sample(rng), i);
+          insert_sampled(i, dist.Sample(rng), i);
         }
         update_count.fetch_add(n, std::memory_order_relaxed);
       } else {
@@ -122,13 +215,23 @@ inline WorkloadResult RunWorkload(OrderedMap* map,
           const size_t batch = std::min(round, (n - done) / 2 + 1);
           for (size_t i = 0; i < batch; ++i) {
             keys[i] = dist.Sample(rng);
-            map->Insert(keys[i], i);
+            insert_sampled(i, keys[i], i);
           }
-          for (size_t i = 0; i < batch; ++i) map->Remove(keys[i]);
+          for (size_t i = 0; i < batch; ++i) {
+            if ((i & (kLatencySampleEvery - 1)) == 0) {
+              const uint64_t t0 = NowNanos();
+              map->Remove(keys[i]);
+              lat.Record(NowNanos() - t0);
+            } else {
+              map->Remove(keys[i]);
+            }
+          }
           done += 2 * batch;
         }
         update_count.fetch_add(done, std::memory_order_relaxed);
       }
+      std::lock_guard<std::mutex> lk(lat_mu);
+      r.update_lat.Merge(lat);
     });
   }
   std::vector<std::thread> scanners;
@@ -136,13 +239,18 @@ inline WorkloadResult RunWorkload(OrderedMap* map,
     scanners.emplace_back([&, t] {
       PinThisThread(static_cast<unsigned>(cfg.update_threads + t));
       uint64_t local = 0;
+      LatencyHistogram lat;
       while (!stop_scanners.load(std::memory_order_relaxed)) {
         const size_t size_now = map->Size();
+        const uint64_t t0 = NowNanos();
         volatile uint64_t sink = map->SumAll();
+        lat.Record(NowNanos() - t0);
         (void)sink;
         local += size_now;
       }
       scanned.fetch_add(local, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(lat_mu);
+      r.scan_lat.Merge(lat);
     });
   }
   for (auto& t : threads) t.join();
@@ -151,7 +259,6 @@ inline WorkloadResult RunWorkload(OrderedMap* map,
   stop_scanners.store(true);
   for (auto& t : scanners) t.join();
 
-  WorkloadResult r;
   r.seconds = secs;
   r.update_mops =
       static_cast<double>(update_count.load()) / secs / 1e6;
@@ -229,6 +336,33 @@ class JsonRecord {
   friend class BenchJson;
   std::vector<std::pair<std::string, std::string>> fields_;
 };
+
+/// Attach a workload's sampled latency percentiles under `prefix`
+/// (e.g. "update" -> update_p50_ns/update_p99_ns/update_p999_ns and
+/// update_lat_samples). The `_ns`/`_lat_samples` suffixes are VOLATILE
+/// in scripts/bench_diff.py — measurements, never record identity.
+inline JsonRecord& AddLatencyFields(JsonRecord& rec,
+                                    const std::string& prefix,
+                                    const LatencyHistogram& lat) {
+  if (lat.count() == 0) return rec;
+  return rec.Int(prefix + "_p50_ns", lat.PercentileNs(0.50))
+      .Int(prefix + "_p99_ns", lat.PercentileNs(0.99))
+      .Int(prefix + "_p999_ns", lat.PercentileNs(0.999))
+      .Int(prefix + "_lat_samples", lat.count());
+}
+
+/// Attach where the workload's threads actually ran (ISSUE 8): the
+/// allowed-CPU/topology summary from common/pin.h. A scaling curve from
+/// a 1-core container and one from a 32-core box must not be comparable
+/// records without this evidence attached. All VOLATILE in
+/// scripts/bench_diff.py.
+inline JsonRecord& AddPlacementFields(JsonRecord& rec) {
+  const CpuTopology& topo = Topology();
+  return rec.Int("host_cpus", static_cast<uint64_t>(topo.num_cpus))
+      .Int("host_cores", static_cast<uint64_t>(topo.num_cores))
+      .Bool("smt", topo.smt)
+      .Str("pin_order", TopologySummary());
+}
 
 /// Collects records and writes them as a JSON array on Write(). With no
 /// --json flag the collection is kept but never written (negligible

@@ -51,7 +51,30 @@ VOLATILE = {
     # perf delta to a degraded run, never part of a workload's identity.
     "fallback_backend_active", "failpoint_fires", "rebalance_retries",
     "watchdog_trips",
+    # Placement observability (ISSUE 8): what the topology-aware pinner
+    # saw on the host that ran the bench — environment, not workload.
+    "host_cpus", "host_cores", "smt", "pin_order",
+    # Sharded front-end flush counters (ISSUE 8): how the coalescing
+    # front door behaved, not what was asked of it (the coalesce/age_ms
+    # knobs themselves stay identity fields).
+    "coalesced_flushes", "coalesced_ops", "age_flushes", "direct_ops",
 }
+
+# Suffix/prefix families of volatile fields (ISSUE 8): per-op latency
+# percentiles and their sample counts (*_p50_ns/_p99_ns/_p999_ns,
+# *_lat_samples) are reported metrics-adjacent observability — noisy
+# between runs and absent on trees without the latency histograms, so
+# they must not split identities; agg_* / ebr_* are the sharded front
+# end's aggregated per-shard counters, measurements like their
+# un-aggregated ISSUE 4/6/7 counterparts above.
+VOLATILE_SUFFIXES = ("_ns", "_lat_samples")
+VOLATILE_PREFIXES = ("agg_", "ebr_")
+
+
+def is_volatile(field):
+    return (field in VOLATILE
+            or field.endswith(VOLATILE_SUFFIXES)
+            or field.startswith(VOLATILE_PREFIXES))
 
 
 def load_records(path):
@@ -79,7 +102,7 @@ def load_records(path):
             if k in METRICS:
                 if isinstance(v, (int, float)) and v != 0:
                     metrics[k] = v
-            elif k not in VOLATILE:
+            elif not is_volatile(k):
                 ident_fields.append(f"{k}={v}")
         if metrics:
             out[" ".join(ident_fields)] = metrics

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Bench regression gate (ISSUE 4): run the CI-scale read-path and
-# rebalance benchmarks and fail on >threshold throughput regressions
-# via scripts/bench_diff.py --check, instead of waiting for someone to
-# run the benches by hand.
+# Bench regression gate (ISSUE 4): run the CI-scale read-path,
+# rebalance, and sharded front-end benchmarks and fail on >threshold
+# throughput regressions via scripts/bench_diff.py --check, instead of
+# waiting for someone to run the benches by hand.
 #
 #   scripts/bench_gate.sh                  # vs committed bench/baseline/
 #   scripts/bench_gate.sh --update         # regenerate those baselines
@@ -47,19 +47,34 @@ READPATH_ARGS=(--ops=600000 --preload=300000 --threads=4 --reps=4
                --scan_passes=16)
 REBAL_ARGS=(--ops=400000 --segments=512 --batch=2048 --threads=4 --reps=5
             --what=dense,batch_insert,scan)
+# Sharded front end (ISSUE 8): one bare-vs-sharded parity pair plus a
+# small shard sweep, sized for CI seconds. Gated in committed-baseline
+# mode only — in --relative mode the base tree predates src/sharded/
+# and grafting the driver cannot conjure the library it benches.
+SHARDED_ARGS=(--ops=300000 --preload=150000 --threads=4 --reps=3
+              --shards=1,2 --scan_passes=8
+              --what=insert_heavy,read_mostly)
 
 mkdir -p "$OUT"
 run_benches() {
-  local bindir="$1" outdir="$2"
+  local bindir="$1" outdir="$2" sharded="${3:-with-sharded}"
   "$bindir/bench_readpath" "${READPATH_ARGS[@]}" \
     --json="$outdir/readpath.json"
   "$bindir/bench_rebalance" "${REBAL_ARGS[@]}" \
     --json="$outdir/rebalance.json"
+  if [[ "$sharded" != "--no-sharded" ]]; then
+    "$bindir/bench_sharded" "${SHARDED_ARGS[@]}" \
+      --json="$outdir/sharded.json"
+  fi
 }
 
 compare() {
   local basedir="$1" canddir="$2" status=0
-  for f in readpath rebalance; do
+  for f in readpath rebalance sharded; do
+    if [[ ! -f "$basedir/$f.json" || ! -f "$canddir/$f.json" ]]; then
+      echo "--- bench_gate: $f skipped (missing on one side) ---"
+      continue
+    fi
     echo "--- bench_gate: $f (threshold ${THRESHOLD}%) ---"
     python3 scripts/bench_diff.py "$basedir/$f.json" "$canddir/$f.json" \
       --check --threshold="$THRESHOLD" || status=1
@@ -129,13 +144,15 @@ if [[ "${1:-}" == "--relative" ]]; then
   cmake --build "$base_wt/build" -j "$(nproc)" \
     --target bench_readpath bench_rebalance >/dev/null
   mkdir -p "$OUT/base" "$OUT/cand"
-  run_benches "$base_wt/build/bench" "$OUT/base"
-  run_benches "./$BUILD/bench" "$OUT/cand"
+  # Both sides skip bench_sharded: the base tree cannot build it, and a
+  # candidate-only run would have nothing to gate against.
+  run_benches "$base_wt/build/bench" "$OUT/base" --no-sharded
+  run_benches "./$BUILD/bench" "$OUT/cand" --no-sharded
   compare "$OUT/base" "$OUT/cand"
   exit $?
 fi
 
-for f in readpath rebalance; do
+for f in readpath rebalance sharded; do
   if [[ ! -f "$BASELINE_DIR/$f.json" ]]; then
     echo "bench_gate: missing $BASELINE_DIR/$f.json" \
          "(run scripts/bench_gate.sh --update and commit)" >&2

@@ -1,0 +1,169 @@
+#include "common/pin.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace cpma {
+
+namespace {
+
+#if defined(__linux__)
+
+/// Read a small non-negative integer from a sysfs file; -1 on any
+/// failure (file absent, unreadable, not a number). Topology files hold
+/// one decimal id per file.
+int ReadSysfsInt(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return -1;
+  int v = -1;
+  const int got = std::fscanf(f, "%d", &v);
+  std::fclose(f);
+  return (got == 1 && v >= 0) ? v : -1;
+}
+
+CpuTopology DetectTopology() {
+  CpuTopology topo;
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) {
+    return topo;  // no affinity control: empty pin order, no-op pinning
+  }
+
+  struct CpuInfo {
+    int cpu;
+    int package;
+    int core;
+  };
+  std::vector<CpuInfo> cpus;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (!CPU_ISSET(c, &allowed)) continue;
+    char path[128];
+    std::snprintf(path, sizeof(path),
+                  "/sys/devices/system/cpu/cpu%d/topology/core_id", c);
+    const int core = ReadSysfsInt(path);
+    std::snprintf(
+        path, sizeof(path),
+        "/sys/devices/system/cpu/cpu%d/topology/physical_package_id", c);
+    const int pkg = ReadSysfsInt(path);
+    // Unreadable topology (sysfs not mounted, exotic container): treat
+    // the CPU as its own core so it still participates in the pin order
+    // and never aliases a real (package, core) pair.
+    if (core < 0 || pkg < 0) {
+      cpus.push_back({c, -1, c});
+    } else {
+      cpus.push_back({c, pkg, core});
+    }
+  }
+  topo.num_cpus = static_cast<int>(cpus.size());
+  if (cpus.empty()) return topo;
+
+  // Group SMT siblings: stable-sort by (package, core) keeps the
+  // enumeration order *within* a core (cpu id ascending), then a sweep
+  // assigns each CPU its sibling rank. Pin order = rank-0 CPUs of every
+  // core first, then rank-1, ... — i.e. all distinct physical cores
+  // before any hyperthread pair shares one.
+  std::stable_sort(cpus.begin(), cpus.end(),
+                   [](const CpuInfo& a, const CpuInfo& b) {
+                     if (a.package != b.package) return a.package < b.package;
+                     if (a.core != b.core) return a.core < b.core;
+                     return a.cpu < b.cpu;
+                   });
+  std::vector<int> rank(cpus.size(), 0);
+  int max_rank = 0;
+  for (size_t i = 1; i < cpus.size(); ++i) {
+    if (cpus[i].package == cpus[i - 1].package &&
+        cpus[i].core == cpus[i - 1].core) {
+      rank[i] = rank[i - 1] + 1;
+      max_rank = std::max(max_rank, rank[i]);
+    } else {
+      rank[i] = 0;
+    }
+  }
+  int cores = 0;
+  for (size_t i = 0; i < cpus.size(); ++i) {
+    if (rank[i] == 0) ++cores;
+  }
+  topo.num_cores = cores;
+  topo.smt = max_rank > 0;
+  topo.pin_order.reserve(cpus.size());
+  for (int r = 0; r <= max_rank; ++r) {
+    for (size_t i = 0; i < cpus.size(); ++i) {
+      if (rank[i] == r) topo.pin_order.push_back(cpus[i].cpu);
+    }
+  }
+  return topo;
+}
+
+#else  // !__linux__
+
+CpuTopology DetectTopology() { return CpuTopology{}; }
+
+#endif
+
+}  // namespace
+
+const CpuTopology& Topology() {
+  // Magic-static: detection runs once, first use; concurrent first
+  // callers are serialized by the C++ static-init guarantee.
+  static const CpuTopology topo = DetectTopology();
+  return topo;
+}
+
+bool PinThisThread(unsigned slot) {
+#if defined(__linux__)
+  const CpuTopology& topo = Topology();
+  if (topo.pin_order.empty()) return false;
+  const int cpu =
+      topo.pin_order[slot % static_cast<unsigned>(topo.pin_order.size())];
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)slot;
+  return false;
+#endif
+}
+
+bool PinToCpu(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+int PinCpuForSlot(unsigned slot) {
+  const CpuTopology& topo = Topology();
+  if (topo.pin_order.empty()) return -1;
+  return topo.pin_order[slot % static_cast<unsigned>(topo.pin_order.size())];
+}
+
+std::string TopologySummary() {
+  const CpuTopology& topo = Topology();
+  std::string s = "cpus=" + std::to_string(topo.num_cpus) +
+                  " cores=" + std::to_string(topo.num_cores) +
+                  " smt=" + (topo.smt ? "on" : "off");
+  if (!topo.pin_order.empty()) {
+    s += " order=";
+    const size_t shown = std::min<size_t>(topo.pin_order.size(), 16);
+    for (size_t i = 0; i < shown; ++i) {
+      if (i > 0) s += ',';
+      s += std::to_string(topo.pin_order[i]);
+    }
+    if (shown < topo.pin_order.size()) s += ",...";
+  }
+  return s;
+}
+
+}  // namespace cpma

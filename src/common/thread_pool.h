@@ -51,7 +51,15 @@ class WaitGroup {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(size_t num_threads) {
+  /// `thread_init`, when set, runs once in each worker thread before it
+  /// starts taking tasks, with the worker's index — the per-shard
+  /// affinity hook (ISSUE 8: the sharded front end pins each shard's
+  /// rebalancer workers to that shard's CPUs). It is NOT invoked for
+  /// tasks that execute inline on the caller after a fully degraded
+  /// spawn: the caller's placement belongs to the caller.
+  explicit ThreadPool(size_t num_threads,
+                      std::function<void(size_t)> thread_init = nullptr)
+      : thread_init_(std::move(thread_init)) {
     threads_.reserve(num_threads);
     for (size_t i = 0; i < num_threads; ++i) {
       if (CPMA_FAILPOINT("threadpool.spawn")) {
@@ -59,7 +67,10 @@ class ThreadPool {
         continue;
       }
       try {
-        threads_.emplace_back([this] { WorkerLoop(); });
+        threads_.emplace_back([this, i] {
+          if (thread_init_) thread_init_(i);
+          WorkerLoop();
+        });
       } catch (const std::system_error&) {
         // Resource exhaustion (EAGAIN et al.): run degraded with the
         // threads we have rather than dying.
@@ -126,6 +137,7 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> tasks_;
   std::vector<std::thread> threads_;
+  std::function<void(size_t)> thread_init_;
   bool stop_ = false;
   size_t spawn_failures_ = 0;  // written only during construction
 };

@@ -182,12 +182,32 @@ void ConcurrentPMA::Remove(Key key) {
 }
 
 void ConcurrentPMA::Update(GateOp op) {
-  const bool allow_queue =
-      cfg_.async_mode != ConcurrentConfig::AsyncMode::kSync;
   // Enqueue stamp (ISSUE 5): one fetch_add per producer-issued op; the
   // stamp rides the op through queues and rebalancer merges, where
   // CanonicalizeBatch resolves per-key winners by it.
   op.seq = seq_gen_.fetch_add(1, std::memory_order_relaxed);
+  DispatchStamped(op);
+}
+
+void ConcurrentPMA::UpdateBatch(GateOp* ops, size_t n) {
+  if (n == 0) return;
+  // Block stamp reservation (ISSUE 8): one fetch_add covers the whole
+  // producer-ordered run, linearizing it at the reservation point.
+  // ops[i] gets base+i, so within the run the stamps reproduce issue
+  // order exactly — CanonicalizeBatch and the strict-order machinery
+  // cannot tell these ops from individually stamped ones.
+  const uint64_t base = seq_gen_.fetch_add(n, std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    CPMA_CHECK_MSG(ops[i].key <= kKeyMax,
+                   "key out of domain (UINT64_MAX reserved)");
+    ops[i].seq = base + i;
+  }
+  for (size_t i = 0; i < n; ++i) DispatchStamped(ops[i]);
+}
+
+void ConcurrentPMA::DispatchStamped(GateOp op) {
+  const bool allow_queue =
+      cfg_.async_mode != ConcurrentConfig::AsyncMode::kSync;
   // Worklist entries beyond the first are reroutes: ops that lost their
   // gate to a fence move or resize and must re-dispatch through the
   // index. Under strict_async_order this never happens (such ops are
@@ -873,65 +893,95 @@ void ConcurrentPMA::CopyGateLatched(const Snapshot& snap, const Gate& gate,
   }
 }
 
-void ConcurrentPMA::Scan(Key min, Key max, const ScanCallback& cb) const {
-  if (min > max) return;
-  Key cursor = min;
-  bool consumed_cursor = false;  // true once `cursor` itself was emitted
-  EpochGuard guard(gc_);
-  // One gate's chunk, staged before emission: user callbacks run on the
-  // private copy, outside every latch and validation window, in both
-  // the optimistic and the fallback mode.
-  std::vector<Item> chunk;
+ConcurrentPMA::ScanCursor::ScanCursor(const ConcurrentPMA& pma, Key min,
+                                      Key max)
+    : pma_(pma), guard_(pma.gc_), max_(max), cursor_(min), done_(min > max) {}
+
+bool ConcurrentPMA::ScanCursor::NextChunk(std::vector<Item>* out) {
+  out->clear();
+  if (done_) return false;
+  // The body is the former Scan() loop with emission replaced by a
+  // return: each call stages one gate's chunk (validated seqlock window
+  // or latched fallback) into `chunk_`, trims it to the still-pending
+  // range, and hands the trimmed run to the caller. Callers therefore
+  // consume items outside every latch and validation window, exactly
+  // like Scan callbacks did. On a failed validation the cursor restarts
+  // from a fresh snapshot; `out` is still empty at that point (we
+  // return as soon as it is filled), so no chunk is ever re-delivered.
   for (;;) {
-    Snapshot* snap = snapshot_.load(std::memory_order_acquire);
-    size_t gid = snap->index->Lookup(cursor);
+    Snapshot* snap = pma_.snapshot_.load(std::memory_order_acquire);
+    size_t gid = snap->index->Lookup(cursor_);
     bool restart = false;
     for (; gid < snap->num_gates(); ++gid) {
       Gate* gate = &snap->gates[gid];
       Key gate_high = kKeySentinel;
-      const OptGate r =
-          TryOptimisticGateCopy(*snap, *gate, cursor, max, &chunk,
-                                &gate_high);
+      const OptGate r = pma_.TryOptimisticGateCopy(*snap, *gate, cursor_,
+                                                   max_, &chunk_, &gate_high);
       if (r == OptGate::kRestart) {
-        guard.Refresh();
+        guard_.Refresh();
         restart = true;
         break;
       }
       if (r == OptGate::kFallback) {
-        stat_read_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        pma_.stat_read_fallbacks_.fetch_add(1, std::memory_order_relaxed);
         if (gate->ReaderAccess(nullptr) == GateAccess::kInvalidated) {
-          guard.Refresh();
+          guard_.Refresh();
           restart = true;
           break;
         }
-        CopyGateLatched(*snap, *gate, cursor, max, &chunk);
+        pma_.CopyGateLatched(*snap, *gate, cursor_, max_, &chunk_);
         gate_high = gate->high_fence();
         gate->ReaderRelease();
       }
-      // Emit from the staged (validated or latched) copy.
+      // Trim the staged (validated or latched) copy to the pending
+      // range: strictly after the cursor once it was delivered, and
+      // nothing past max.
       size_t i = static_cast<size_t>(
-          std::lower_bound(chunk.begin(), chunk.end(), cursor,
+          std::lower_bound(chunk_.begin(), chunk_.end(), cursor_,
                            [](const Item& a, Key k) { return a.key < k; }) -
-          chunk.begin());
-      if (consumed_cursor && i < chunk.size() && chunk[i].key == cursor) {
+          chunk_.begin());
+      if (consumed_cursor_ && i < chunk_.size() && chunk_[i].key == cursor_) {
         ++i;
       }
-      for (; i < chunk.size(); ++i) {
-        if (chunk[i].key > max) return;
-        if (!cb(chunk[i].key, chunk[i].value)) return;
-        cursor = chunk[i].key;
-        consumed_cursor = true;
+      size_t j = i;
+      while (j < chunk_.size() && chunk_[j].key <= max_) ++j;
+      const bool past_max = j < chunk_.size();  // saw a key > max
+      if (i < j) {
+        out->assign(chunk_.begin() + static_cast<ptrdiff_t>(i),
+                    chunk_.begin() + static_cast<ptrdiff_t>(j));
+        cursor_ = chunk_[j - 1].key;
+        consumed_cursor_ = true;
       }
-      if (gate_high >= max) return;  // gates right of here exceed max
+      if (past_max || gate_high >= max_) {
+        done_ = true;  // gates right of here exceed max
+        return !out->empty();
+      }
       // Resume from the validated fence: the next gate's keys are all
       // greater, and a restart re-enters past this chunk. Advance-only
       // (see SumAll): never move the cursor backwards off a stale gate.
-      if (gate_high > cursor || (!consumed_cursor && gate_high == cursor)) {
-        cursor = gate_high;
-        consumed_cursor = true;
+      if (gate_high > cursor_ ||
+          (!consumed_cursor_ && gate_high == cursor_)) {
+        cursor_ = gate_high;
+        consumed_cursor_ = true;
       }
+      if (!out->empty()) return true;
     }
-    if (!restart) return;
+    if (!restart) {
+      done_ = true;
+      return !out->empty();
+    }
+  }
+}
+
+void ConcurrentPMA::Scan(Key min, Key max, const ScanCallback& cb) const {
+  // Thin wrapper over the pull cursor (ISSUE 8) so the existing scan
+  // tests cover the chunk decomposition the sharded merge relies on.
+  ScanCursor cursor(*this, min, max);
+  std::vector<Item> chunk;
+  while (cursor.NextChunk(&chunk)) {
+    for (const Item& it : chunk) {
+      if (!cb(it.key, it.value)) return;
+    }
   }
 }
 

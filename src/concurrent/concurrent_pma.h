@@ -127,6 +127,50 @@ class ConcurrentPMA : public OrderedMap {
   bool Find(Key key, Value* value) const override;
   uint64_t SumAll() const override;
   void Scan(Key min, Key max, const ScanCallback& cb) const override;
+
+  /// Batched front-door hand-off (ISSUE 8): apply a producer-ordered run
+  /// of ops, equivalent to calling Insert/Remove for each in order but
+  /// with ONE enqueue-stamp reservation for the whole run instead of a
+  /// fetch_add per op — the contended-counter amortization the sharded
+  /// coalescing front door exists for. The block reservation linearizes
+  /// the run at the reservation point, so per-producer FIFO (ISSUE 5)
+  /// is preserved exactly as if the ops had been issued one by one
+  /// there; callers flushing staging buffers must therefore serialize
+  /// UpdateBatch calls per producer (the sharded front door holds the
+  /// producer slot's flush lock across the call). Ops are dispatched in
+  /// array order; `ops[i].seq` is overwritten.
+  void UpdateBatch(GateOp* ops, size_t n);
+
+  /// Pull-based ordered read cursor (ISSUE 8): the per-gate chunk loop
+  /// of Scan() exposed as an explicit cursor, so a consumer can merge
+  /// several PMAs' streams (the sharded front end's k-way scan merge)
+  /// without inverting control through callbacks. Each NextChunk()
+  /// delivers the next validated run of items in (last delivered,
+  /// max] — one gate's chunk, staged under the same optimistic
+  /// seqlock/fallback protocol as Scan and trimmed to the range — or
+  /// returns false when the range is exhausted. The cursor pins its
+  /// epoch for its whole lifetime; hold it only for the duration of a
+  /// scan pass.
+  class ScanCursor {
+   public:
+    ScanCursor(const ConcurrentPMA& pma, Key min, Key max);
+
+    ScanCursor(const ScanCursor&) = delete;
+    ScanCursor& operator=(const ScanCursor&) = delete;
+
+    /// Fill `out` with the next chunk (ascending keys, all in range,
+    /// non-empty on true). False = range exhausted; `out` is cleared.
+    bool NextChunk(std::vector<Item>* out);
+
+   private:
+    const ConcurrentPMA& pma_;
+    EpochGuard guard_;
+    const Key max_;
+    Key cursor_;
+    bool consumed_cursor_ = false;
+    bool done_ = false;
+    std::vector<Item> chunk_;  // per-gate staging, reused across calls
+  };
   size_t Size() const override {
     return count_.load(std::memory_order_relaxed);
   }
@@ -266,6 +310,11 @@ class ConcurrentPMA : public OrderedMap {
 
   // Shared update entry point for Insert/Remove.
   void Update(GateOp op);
+
+  // Dispatch an op that already carries its enqueue stamp (Update stamps
+  // one op, UpdateBatch reserves a block): index descent, gate access,
+  // owner apply / queue hand-off, reroute worklist.
+  void DispatchStamped(GateOp op);
 
   // Owner path: apply `op`, then drain the combining queue according to
   // the configured async mode. Ops that no longer fit the gate's fences

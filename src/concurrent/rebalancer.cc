@@ -6,6 +6,7 @@
 #include <new>
 
 #include "common/failpoint.h"
+#include "common/pin.h"
 #include "common/timer.h"
 #include "pma/density.h"
 
@@ -42,13 +43,33 @@ std::vector<BatchEntry> CanonicalizeBatch(const std::deque<GateOp>& ops) {
 }
 
 Rebalancer::Rebalancer(ConcurrentPMA* pma, size_t num_workers)
-    : pma_(pma), workers_(num_workers) {}
+    : pma_(pma),
+      workers_(num_workers,
+               // Per-shard worker affinity (ISSUE 8): when the config
+               // names CPUs, each worker pins to its round-robin slot in
+               // that set via the topology-aware pinner. Best effort —
+               // a failed pin leaves the worker floating, as before.
+               pma->config().worker_cpus.empty()
+                   ? std::function<void(size_t)>(nullptr)
+                   : [pma](size_t i) {
+                       const auto& cpus = pma->config().worker_cpus;
+                       PinToCpu(cpus[i % cpus.size()]);
+                     }) {}
 
 Rebalancer::~Rebalancer() { Stop(); }
 
 void Rebalancer::Start() {
   if (master_.joinable()) return;
-  master_ = std::thread([this] { MasterLoop(); });
+  master_ = std::thread([this] {
+    // The master shares the shard's first CPU: it mostly coordinates
+    // (drains queues, plans windows) and sleeps between requests, so
+    // co-locating it with worker 0 keeps the whole rebalance pipeline
+    // of a shard on that shard's cores.
+    if (!pma_->config().worker_cpus.empty()) {
+      PinToCpu(pma_->config().worker_cpus[0]);
+    }
+    MasterLoop();
+  });
   if (pma_->watchdog_ms_ > 0) {
     watchdog_ = std::thread([this] { WatchdogLoop(); });
   }

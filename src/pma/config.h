@@ -3,6 +3,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 namespace cpma {
 
@@ -92,6 +94,15 @@ struct ConcurrentConfig {
   /// work. 0 (default) disables the checker. Overridden at construction
   /// by the CPMA_WATCHDOG_MS environment variable when set.
   int64_t watchdog_ms = 0;
+
+  /// Rebalancer-thread affinity (ISSUE 8). When non-empty, the master
+  /// thread and every rebalancer worker pin themselves to these logical
+  /// CPU ids at startup (worker i -> worker_cpus[i % size], master ->
+  /// worker_cpus[0]), via the topology-aware pinner in common/pin.h.
+  /// The sharded front end uses this to give each shard's background
+  /// work a home core so N shards' rebalancers don't migrate onto each
+  /// other. Empty (default) = unpinned, the pre-ISSUE-8 behaviour.
+  std::vector<int> worker_cpus;
 
   /// Optimistic read path (ISSUE 4): how many seqlock windows a reader
   /// attempts per gate (failed validations, mutator-active snapshots and
