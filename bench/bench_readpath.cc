@@ -32,6 +32,7 @@
 // neither the macro nor the failpoint header exists.
 #if defined(CPMA_FAULT_TOLERANCE)
 #include "common/failpoint.h"
+#include "persist/checkpoint.h"
 #endif
 
 #if !defined(CPMA_BENCH_LATENCY)
@@ -201,6 +202,24 @@ void Report(BenchJson* json, const ConcurrentPMA& pma, const Knobs& k,
       .Int("failpoint_fires", failpoint::TotalFires())
       .Int("rebalance_retries", pma.num_rebalance_retries())
       .Int("watchdog_trips", pma.num_watchdog_trips());
+#endif
+#if defined(CPMA_SNAPSHOTS)
+  // Durability-tier observability (ISSUE 9, all VOLATILE): open COW
+  // snapshots and the file-page bytes they retain (a fault-free bench
+  // run takes no snapshots, so nonzero retention flags a run whose
+  // readers measured COW pressure), plus the process-global checkpoint
+  // counters — restore_verify_failures nonzero means the run loaded a
+  // damaged checkpoint, which disqualifies it as a perf sample.
+  {
+    const persist::PersistCounters& pc = persist::Counters();
+    rec.Int("snapshots_open", pma.snapshots_open())
+        .Int("snapshots_taken", pma.num_snapshots_taken())
+        .Int("cow_retained_bytes", pma.cow_pages_retained_bytes())
+        .Int("checkpoint_bytes",
+             pc.checkpoint_bytes.load(std::memory_order_relaxed))
+        .Int("restore_verify_failures",
+             pc.restore_verify_failures.load(std::memory_order_relaxed));
+  }
 #endif
 }
 

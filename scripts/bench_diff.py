@@ -58,6 +58,13 @@ VOLATILE = {
     # front door behaved, not what was asked of it (the coalesce/age_ms
     # knobs themselves stay identity fields).
     "coalesced_flushes", "coalesced_ops", "age_flushes", "direct_ops",
+    # Durability-tier observability (ISSUE 9): snapshot/COW retention
+    # and the process-global checkpoint counters — measurements of what
+    # a run did, never part of a workload's identity. A nonzero
+    # restore_verify_failures disqualifies the run as a perf sample,
+    # which is exactly why it is reported.
+    "snapshots_open", "snapshots_taken", "cow_retained_bytes",
+    "checkpoint_bytes", "restore_verify_failures",
 }
 
 # Suffix/prefix families of volatile fields (ISSUE 8): per-op latency

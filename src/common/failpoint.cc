@@ -2,6 +2,8 @@
 
 #if CPMA_FAILPOINTS_ENABLED
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +29,7 @@ enum class Policy : unsigned char {
 
 struct Site {
   Policy policy = Policy::kOff;
+  bool crash = false;      // `!crash` action: _exit the process on fire
   uint64_t n = 0;          // times/nth parameter
   double prob = 0.0;       // prob parameter
   uint64_t rng = 0;        // splitmix64 state (prob policy)
@@ -63,6 +66,14 @@ uint64_t SplitMix64(uint64_t& state) {
 bool ParseSpec(const char* spec, Site* out) {
   if (spec == nullptr) return false;
   std::string s(spec);
+  // Action suffix first: "policy!crash". ';' and ',' are clause
+  // separators, so the action rides on the policy with '!'.
+  const size_t bang = s.find('!');
+  if (bang != std::string::npos) {
+    if (s.substr(bang + 1) != "crash") return false;
+    out->crash = true;
+    s.erase(bang);
+  }
   auto starts_with = [&](const char* p) {
     return s.rfind(p, 0) == 0;
   };
@@ -183,6 +194,21 @@ bool Evaluate(const char* site) {
     s.fires++;
     reg.total_fires.fetch_add(1, std::memory_order_relaxed);
     t_last_fired = it->first.c_str();
+    if (s.crash) {
+      // Simulated power cut: no atexit, no flush, no unwinding. The one
+      // stderr line is best-effort (unbuffered fd write) so a surprised
+      // CI log still names the site that pulled the plug.
+      char buf[160];
+      const int len = std::snprintf(buf, sizeof(buf),
+                                    "cpma: failpoint %s fired with !crash; "
+                                    "_exit(%d)\n",
+                                    it->first.c_str(), kCrashExitCode);
+      if (len > 0) {
+        ssize_t ignored = ::write(2, buf, static_cast<size_t>(len));
+        (void)ignored;
+      }
+      ::_exit(kCrashExitCode);
+    }
   }
   return fire;
 }
@@ -197,6 +223,7 @@ bool Set(const char* site, const char* spec) {
   Site& s = reg.sites[site];
   // Keep history counters; replace the policy.
   s.policy = parsed.policy;
+  s.crash = parsed.crash;
   s.n = parsed.n;
   s.prob = parsed.prob;
   s.rng = parsed.rng;

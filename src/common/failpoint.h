@@ -18,6 +18,16 @@
 //                  (default seed 0) — deterministic given the per-site
 //                  hit sequence
 //
+// Any policy may carry a `!crash` action suffix ("site=nth:3!crash"):
+// when the site fires, instead of reporting failure to the caller the
+// process terminates immediately via _exit(kCrashExitCode) — no atexit
+// handlers, no stdio flush, no destructors, i.e. the closest userspace
+// approximation of pulling the plug at that instruction. This turns
+// every instrumented site (remap publication, region creation, each
+// persist-layer syscall) into a crash site for the fork-based
+// crash-recovery harness (ISSUE 9). '!' is used because ';' and ','
+// are both clause separators in this grammar.
+//
 // Configuration comes from the CPMA_FAILPOINTS environment variable
 // ("site=spec;site=spec", parsed once at first evaluation; ',' also
 // accepted as a separator) or from the programmatic API below (tests,
@@ -54,6 +64,10 @@ namespace failpoint {
 
 /// True in builds that carry the registry (tests GTEST_SKIP otherwise).
 inline constexpr bool kCompiledIn = true;
+
+/// Exit code used by the `!crash` action; the crash harness parent
+/// asserts on it to distinguish an injected crash from a real abort.
+inline constexpr int kCrashExitCode = 87;
 
 namespace internal {
 // Number of currently armed sites; the fast-path gate for every
@@ -114,6 +128,7 @@ namespace cpma {
 namespace failpoint {
 
 inline constexpr bool kCompiledIn = false;
+inline constexpr int kCrashExitCode = 87;
 
 inline bool Armed() { return false; }
 inline bool Evaluate(const char*) { return false; }

@@ -1,0 +1,144 @@
+#include "common/hotpath/crc32c.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <nmmintrin.h>
+#define CPMA_HAVE_SSE42_IMPL 1
+#endif
+
+namespace cpma {
+namespace hotpath {
+
+namespace {
+
+// ----------------------------------------------------------- scalar
+// Slice-by-1 table kernel. Not fast, but portable, branch-light, and
+// the ground truth the SIMD kernel is property-tested against. The
+// table is built once at first use (function-local static init is
+// thread-safe) from the reflected polynomial.
+struct Crc32cTable {
+  uint32_t t[256];
+  Crc32cTable() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+uint32_t ScalarKernel(uint32_t crc, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const uint32_t* t = Table().t;
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ----------------------------------------------------------- sse4.2
+#if defined(CPMA_HAVE_SSE42_IMPL)
+__attribute__((target("sse4.2")))
+uint32_t Sse42Kernel(uint32_t crc, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c32 = crc ^ 0xFFFFFFFFu;
+  // Byte-align to 8 so the u64 loop reads aligned words.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    c32 = _mm_crc32_u8(c32, *p++);
+    --n;
+  }
+#if defined(__x86_64__)
+  uint64_t c = c32;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    c = _mm_crc32_u64(c, word);
+    p += 8;
+    n -= 8;
+  }
+  c32 = static_cast<uint32_t>(c);
+#endif
+  while (n > 0) {
+    c32 = _mm_crc32_u8(c32, *p++);
+    --n;
+  }
+  return c32 ^ 0xFFFFFFFFu;
+}
+#endif  // CPMA_HAVE_SSE42_IMPL
+
+bool Sse42DisabledByEnv() {
+  const char* env = std::getenv("CPMA_DISABLE_SSE42");
+  return env != nullptr && env[0] == '1' && env[1] == '\0';
+}
+
+bool HaveSse42() {
+#if defined(CPMA_HAVE_SSE42_IMPL)
+  return __builtin_cpu_supports("sse4.2") != 0;
+#else
+  return false;
+#endif
+}
+
+using Crc32cFn = uint32_t (*)(uint32_t, const void*, size_t);
+
+uint32_t ResolveCrc32c(uint32_t crc, const void* data, size_t n);
+
+// Constant-initialized: safe to call from any static initializer.
+std::atomic<Crc32cFn> g_crc32c{&ResolveCrc32c};
+
+Crc32cFn PickCrc32c() {
+#if defined(CPMA_HAVE_SSE42_IMPL)
+  if (HaveSse42() && !Sse42DisabledByEnv()) return &Sse42Kernel;
+#endif
+  return &ScalarKernel;
+}
+
+uint32_t ResolveCrc32c(uint32_t crc, const void* data, size_t n) {
+  Crc32cFn fn = PickCrc32c();
+  g_crc32c.store(fn, std::memory_order_relaxed);
+  return fn(crc, data, n);
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  return g_crc32c.load(std::memory_order_relaxed)(crc, data, n);
+}
+
+uint32_t Crc32c(const void* data, size_t n) { return Crc32cExtend(0, data, n); }
+
+uint32_t ScalarCrc32c(uint32_t crc, const void* data, size_t n) {
+  return ScalarKernel(crc, data, n);
+}
+
+bool Crc32cHaveSse42() { return HaveSse42(); }
+
+#if defined(CPMA_HAVE_SSE42_IMPL)
+uint32_t Sse42Crc32c(uint32_t crc, const void* data, size_t n) {
+  return Sse42Kernel(crc, data, n);
+}
+#endif
+
+const char* ActiveCrc32cDispatchName() {
+  Crc32cFn fn = g_crc32c.load(std::memory_order_relaxed);
+  if (fn == &ResolveCrc32c) fn = PickCrc32c();
+#if defined(CPMA_HAVE_SSE42_IMPL)
+  if (fn == &Sse42Kernel) return "sse42";
+#endif
+  return "scalar";
+}
+
+}  // namespace hotpath
+}  // namespace cpma

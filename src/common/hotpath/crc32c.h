@@ -1,0 +1,44 @@
+// CRC32C (Castagnoli) with runtime SSE4.2 dispatch — the checksum under
+// every persist-layer chunk and manifest (ISSUE 9).
+//
+// Same dispatch shape as cpu_dispatch.h: a constant-initialized atomic
+// function pointer starts at a resolver trampoline that probes the CPU
+// once and self-replaces, so steady-state cost is one relaxed load plus
+// an indirect call. CPMA_DISABLE_SSE42=1 forces the scalar table kernel
+// (the property tests drive both and cross-check them).
+//
+// Polynomial 0x1EDC6F41 (reflected 0x82F63B78), init/final XOR
+// 0xFFFFFFFF — i.e. the iSCSI/RocksDB/ext4 CRC32C, bit-identical to the
+// x86 `crc32` instruction family.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cpma {
+namespace hotpath {
+
+/// One-shot convenience: Crc32cExtend(0, data, n).
+uint32_t Crc32c(const void* data, size_t n);
+
+/// Streaming form: feed chunks left to right. `crc` is the value
+/// returned by the previous call (0 to start). The init/final XOR is
+/// folded inside, so partial results are already valid CRCs of the
+/// prefix — callers can both persist and keep extending them.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// Direct kernel access for the property tests (both are always
+/// compiled; Sse42Crc32c aborts if called on a CPU without SSE4.2 —
+/// check Crc32cHaveSse42() first).
+uint32_t ScalarCrc32c(uint32_t crc, const void* data, size_t n);
+bool Crc32cHaveSse42();
+#if defined(__x86_64__) || defined(__i386__)
+uint32_t Sse42Crc32c(uint32_t crc, const void* data, size_t n);
+#endif
+
+/// "sse42" or "scalar" — which kernel the next Crc32cExtend call uses.
+const char* ActiveCrc32cDispatchName();
+
+}  // namespace hotpath
+}  // namespace cpma

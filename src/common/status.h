@@ -6,6 +6,8 @@
 
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -69,6 +71,31 @@ class Status {
   Code code_;
   std::string message_;
 };
+
+// ------------------------------------------------------------------ io
+// EINTR-safe syscall wrappers (ISSUE 9 satellite). Every read/write loop
+// in the tree goes through these instead of a bare syscall: short
+// transfers are resumed, EINTR retries, and a real failure comes back as
+// a Status carrying the errno text — so a durability-path error report
+// names the failing call instead of surfacing as a mystery CHECK later.
+
+/// Write all `n` bytes of `buf` to `fd`, retrying short writes and EINTR.
+Status WriteFully(int fd, const void* buf, size_t n);
+
+/// pwrite variant: write all `n` bytes at absolute offset `off`.
+Status PwriteFully(int fd, const void* buf, size_t n, uint64_t off);
+
+/// Read exactly `n` bytes into `buf`, retrying short reads and EINTR.
+/// EOF before `n` bytes is an error (kInternal, "short read") — callers
+/// reading framed formats want truncation to be loud.
+Status ReadFully(int fd, void* buf, size_t n);
+
+/// pread variant of ReadFully.
+Status PreadFully(int fd, void* buf, size_t n, uint64_t off);
+
+/// fsync the directory itself so a rename inside it is durable (the
+/// write-temp -> fsync -> rename protocol's last step).
+Status FsyncDir(const std::string& dir);
 
 /// Terminal handler behind CPMA_CHECK/CPMA_CHECK_MSG (status.cc). Prints
 /// the failed condition, optional detail message, file:line, the calling

@@ -24,7 +24,7 @@ namespace cpma {
 // ISSUE 2) instead of a per-TU scalar copy.
 using hotpath::SegmentLowerBound;
 
-void RecomputeFences(Snapshot* snap, size_t gb, size_t ge) {
+void RecomputeFences(Structure* snap, size_t gb, size_t ge) {
   CPMA_CHECK(gb < ge && ge <= snap->num_gates());
   const Storage& st = *snap->storage;
   const size_t spg = snap->segments_per_gate;
@@ -113,25 +113,27 @@ ConcurrentPMA::ConcurrentPMA(const ConcurrentConfig& config) : cfg_(config) {
                    env, static_cast<long long>(watchdog_ms_));
     }
   }
-  snapshot_.store(BuildInitialSnapshot(), std::memory_order_release);
+  structure_.store(BuildInitialStructure(), std::memory_order_release);
   rebalancer_ = std::make_unique<Rebalancer>(this, cfg_.rebalancer_workers);
   rebalancer_->Start();
   gc_.StartBackgroundCollector();
 }
 
 ConcurrentPMA::~ConcurrentPMA() {
+  CPMA_CHECK_MSG(snapshots_open_.load(std::memory_order_relaxed) == 0,
+                 "ConcurrentPMA destroyed with open snapshots");
   Flush();
   rebalancer_->Stop();
   rebalancer_.reset();
-  delete snapshot_.load(std::memory_order_acquire);
+  delete structure_.load(std::memory_order_acquire);
   // gc_'s destructor frees snapshots retired by resizes.
 }
 
-Snapshot* ConcurrentPMA::BuildInitialSnapshot() {
+Structure* ConcurrentPMA::BuildInitialStructure() {
   const size_t spg = cfg_.segments_per_gate;
   size_t segs = std::max(cfg_.pma.initial_num_segments, 2 * spg);
   while (!IsPowerOfTwo(segs)) ++segs;
-  auto* snap = new Snapshot();
+  auto* snap = new Structure();
   snap->version = 1;
   snap->segments_per_gate = spg;
   snap->storage = std::make_unique<Storage>(segs, cfg_.pma.segment_capacity,
@@ -149,7 +151,7 @@ Snapshot* ConcurrentPMA::BuildInitialSnapshot() {
 
 size_t ConcurrentPMA::capacity() const {
   EpochGuard guard(gc_);
-  return snapshot_.load(std::memory_order_acquire)->storage->capacity();
+  return structure_.load(std::memory_order_acquire)->storage->capacity();
 }
 
 std::string ConcurrentPMA::Name() const {
@@ -226,7 +228,7 @@ void ConcurrentPMA::DispatchStamped(GateOp op) {
     rerouted = true;
     EpochGuard guard(gc_);
     for (;;) {
-      Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+      Structure* snap = structure_.load(std::memory_order_acquire);
       size_t gid = snap->index->Lookup(cur.key);
       GateAccess a;
       Gate* gate;
@@ -259,7 +261,7 @@ void ConcurrentPMA::DispatchStamped(GateOp op) {
   }
 }
 
-void ConcurrentPMA::OwnerApplyAndDrain(Snapshot* snap, Gate* gate, GateOp op,
+void ConcurrentPMA::OwnerApplyAndDrain(Structure* snap, Gate* gate, GateOp op,
                                        std::deque<GateOp>* reroute) {
   using AsyncMode = ConcurrentConfig::AsyncMode;
   const bool batch_mode = cfg_.async_mode == AsyncMode::kBatch;
@@ -401,8 +403,11 @@ void ConcurrentPMA::OwnerApplyAndDrain(Snapshot* snap, Gate* gate, GateOp op,
   }
 }
 
-bool ConcurrentPMA::ApplyOpLocal(Snapshot* snap, Gate* gate, const GateOp& op,
+bool ConcurrentPMA::ApplyOpLocal(Structure* snap, Gate* gate, const GateOp& op,
                                  size_t* trigger_seg) {
+  // COW snapshots (ISSUE 9): before the first mutation under this hold,
+  // hand every open snapshot its frozen image of the chunk.
+  PreserveGateForSnapshots(snap, gate);
   Storage* st = snap->storage.get();
   const size_t B = st->segment_capacity();
 
@@ -479,7 +484,7 @@ bool ConcurrentPMA::ApplyOpLocal(Snapshot* snap, Gate* gate, const GateOp& op,
   }
 }
 
-bool ConcurrentPMA::ApplyBatchLocal(Snapshot* snap, Gate* gate,
+bool ConcurrentPMA::ApplyBatchLocal(Structure* snap, Gate* gate,
                                     std::deque<GateOp>* pending) {
   size_t trigger = 0;
   // Canonicalize first (per key the last op wins) so that the
@@ -541,8 +546,9 @@ bool ConcurrentPMA::ApplyBatchLocal(Snapshot* snap, Gate* gate,
   return false;
 }
 
-bool ConcurrentPMA::TryMergedGateSpread(Snapshot* snap, Gate* gate,
+bool ConcurrentPMA::TryMergedGateSpread(Structure* snap, Gate* gate,
                                         const std::vector<BatchEntry>& ops) {
+  PreserveGateForSnapshots(snap, gate);  // ISSUE 9: pre-image before mutation
   Storage* st = snap->storage.get();
   const size_t B = st->segment_capacity();
   const size_t b = gate->seg_begin();
@@ -568,7 +574,7 @@ bool ConcurrentPMA::TryMergedGateSpread(Snapshot* snap, Gate* gate,
   return true;
 }
 
-size_t ConcurrentPMA::LocateSegment(const Snapshot& snap, const Gate& gate,
+size_t ConcurrentPMA::LocateSegment(const Structure& snap, const Gate& gate,
                                     Key key) const {
   // The routing keys double as the gate's first-keys array: route(s) is
   // the first key of a non-empty segment, kKeySentinel for an empty one
@@ -592,7 +598,7 @@ size_t ConcurrentPMA::LocateSegment(const Snapshot& snap, const Gate& gate,
   return gate.seg_begin();
 }
 
-void ConcurrentPMA::MaybeRequestShrink(Snapshot* snap) {
+void ConcurrentPMA::MaybeRequestShrink(Structure* snap) {
   const size_t cap = snap->storage->capacity();
   if (snap->num_gates() <= 2) return;
   if (static_cast<double>(count_.load(std::memory_order_relaxed)) <
@@ -613,7 +619,7 @@ void ConcurrentPMA::MaybeRequestShrink(Snapshot* snap) {
 // windows (0 = always blocking; CPMA_OPTIMISTIC_RETRIES env override).
 // Protocol and ordering argument: concurrent_pma.h / common/latches.h.
 
-size_t ConcurrentPMA::LocateSegmentOptimistic(const Snapshot& snap,
+size_t ConcurrentPMA::LocateSegmentOptimistic(const Structure& snap,
                                               const Gate& gate,
                                               Key key) const {
   // Same routing contract as LocateSegment (see its comment), but with
@@ -631,7 +637,7 @@ size_t ConcurrentPMA::LocateSegmentOptimistic(const Snapshot& snap,
   return gate.seg_begin();
 }
 
-ConcurrentPMA::OptRead ConcurrentPMA::TryOptimisticFind(const Snapshot& snap,
+ConcurrentPMA::OptRead ConcurrentPMA::TryOptimisticFind(const Structure& snap,
                                                         Key key,
                                                         Value* value) const {
   const Storage& st = *snap.storage;
@@ -681,7 +687,7 @@ bool ConcurrentPMA::Find(Key key, Value* value) const {
   CPMA_CHECK_MSG(key <= kKeyMax, "key out of domain (UINT64_MAX reserved)");
   EpochGuard guard(gc_);
   for (;;) {
-    Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+    Structure* snap = structure_.load(std::memory_order_acquire);
     switch (TryOptimisticFind(*snap, key, value)) {
       case OptRead::kHit:
         return true;
@@ -728,7 +734,7 @@ bool ConcurrentPMA::Find(Key key, Value* value) const {
 }
 
 ConcurrentPMA::OptGate ConcurrentPMA::TryOptimisticGateSum(
-    const Snapshot& snap, const Gate& gate, Key cursor, bool have_cursor,
+    const Structure& snap, const Gate& gate, Key cursor, bool have_cursor,
     uint64_t* sum_out, Key* gate_high) const {
   const Storage& st = *snap.storage;
   const uint32_t B = static_cast<uint32_t>(st.segment_capacity());
@@ -777,7 +783,7 @@ uint64_t ConcurrentPMA::SumAll() const {
   bool have_cursor = false;
   EpochGuard guard(gc_);
   for (;;) {
-    Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+    Structure* snap = structure_.load(std::memory_order_acquire);
     const Storage& st = *snap->storage;
     size_t gid = have_cursor ? snap->index->Lookup(cursor) : 0;
     bool restart = false;
@@ -831,7 +837,7 @@ uint64_t ConcurrentPMA::SumAll() const {
 }
 
 ConcurrentPMA::OptGate ConcurrentPMA::TryOptimisticGateCopy(
-    const Snapshot& snap, const Gate& gate, Key cursor, Key max,
+    const Structure& snap, const Gate& gate, Key cursor, Key max,
     std::vector<Item>* out, Key* gate_high) const {
   const Storage& st = *snap.storage;
   const uint32_t B = static_cast<uint32_t>(st.segment_capacity());
@@ -876,7 +882,7 @@ ConcurrentPMA::OptGate ConcurrentPMA::TryOptimisticGateCopy(
   return OptGate::kFallback;
 }
 
-void ConcurrentPMA::CopyGateLatched(const Snapshot& snap, const Gate& gate,
+void ConcurrentPMA::CopyGateLatched(const Structure& snap, const Gate& gate,
                                     Key cursor, Key max,
                                     std::vector<Item>* out) const {
   const Storage& st = *snap.storage;
@@ -909,7 +915,7 @@ bool ConcurrentPMA::ScanCursor::NextChunk(std::vector<Item>* out) {
   // from a fresh snapshot; `out` is still empty at that point (we
   // return as soon as it is filled), so no chunk is ever re-delivered.
   for (;;) {
-    Snapshot* snap = pma_.snapshot_.load(std::memory_order_acquire);
+    Structure* snap = pma_.structure_.load(std::memory_order_acquire);
     size_t gid = snap->index->Lookup(cursor_);
     bool restart = false;
     for (; gid < snap->num_gates(); ++gid) {
@@ -989,35 +995,35 @@ void ConcurrentPMA::Scan(Key min, Key max, const ScanCallback& cb) const {
 
 bool ConcurrentPMA::storage_rewiring_enabled() const {
   EpochGuard guard(gc_);
-  return snapshot_.load(std::memory_order_acquire)
+  return structure_.load(std::memory_order_acquire)
       ->storage->rewiring_enabled();
 }
 
 size_t ConcurrentPMA::storage_page_bytes() const {
   EpochGuard guard(gc_);
-  return snapshot_.load(std::memory_order_acquire)->storage->page_bytes();
+  return structure_.load(std::memory_order_acquire)->storage->page_bytes();
 }
 
 size_t ConcurrentPMA::storage_backing_page_bytes() const {
   EpochGuard guard(gc_);
-  return snapshot_.load(std::memory_order_acquire)
+  return structure_.load(std::memory_order_acquire)
       ->storage->backing_page_bytes();
 }
 
 uint64_t ConcurrentPMA::storage_num_remaps() const {
   EpochGuard guard(gc_);
-  return snapshot_.load(std::memory_order_acquire)->storage->num_remaps();
+  return structure_.load(std::memory_order_acquire)->storage->num_remaps();
 }
 
 uint64_t ConcurrentPMA::storage_num_fallback_copies() const {
   EpochGuard guard(gc_);
-  return snapshot_.load(std::memory_order_acquire)
+  return structure_.load(std::memory_order_acquire)
       ->storage->num_fallback_copies();
 }
 
 uint64_t ConcurrentPMA::storage_num_remap_failures() const {
   EpochGuard guard(gc_);
-  return snapshot_.load(std::memory_order_acquire)
+  return structure_.load(std::memory_order_acquire)
       ->storage->num_remap_failures();
 }
 
@@ -1025,7 +1031,7 @@ uint64_t ConcurrentPMA::storage_num_remap_failures() const {
 
 bool ConcurrentPMA::fallback_backend_active() const {
   EpochGuard guard(gc_);
-  return snapshot_.load(std::memory_order_acquire)
+  return structure_.load(std::memory_order_acquire)
       ->storage->fallback_backend_active();
 }
 
@@ -1060,7 +1066,7 @@ bool ConcurrentPMA::CheckInvariants(std::string* error) const {
     if (error != nullptr) *error = msg;
     return false;
   };
-  Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  Structure* snap = structure_.load(std::memory_order_acquire);
   const Storage& st = *snap->storage;
   const size_t B = st.segment_capacity();
   size_t total = 0;

@@ -93,20 +93,22 @@
 #define CPMA_STRICT_ASYNC_ORDER 1
 #define CPMA_EBR_STATS 1
 #define CPMA_FAULT_TOLERANCE 1
+#define CPMA_SNAPSHOTS 1
 
 namespace cpma {
 
 class Rebalancer;
-struct Snapshot;
+class PMASnapshot;
+struct Structure;
 
 /// Recompute fence keys + index separators for gates [gb, ge) from the
 /// live chunk contents, preserving the window's outer boundaries. The
 /// caller must own the gates (or be single-threaded at construction).
-void RecomputeFences(Snapshot* snap, size_t gb, size_t ge);
+void RecomputeFences(Structure* snap, size_t gb, size_t ge);
 
 /// Everything that is replaced wholesale by a resize. Clients reach a
-/// Snapshot through an atomic pointer and keep it alive via their epoch.
-struct Snapshot {
+/// Structure through an atomic pointer and keep it alive via their epoch.
+struct Structure {
   uint64_t version = 0;
   std::unique_ptr<Storage> storage;
   std::deque<Gate> gates;  // deque: Gate is immovable (mutex member)
@@ -295,6 +297,37 @@ class ConcurrentPMA : public OrderedMap {
   /// CPMA_WATCHDOG_MS at construction; 0 = disabled).
   int64_t watchdog_ms() const { return watchdog_ms_; }
 
+  // ------------------------------------------- COW snapshots (ISSUE 9)
+
+  /// Capture a frozen, consistent point-in-time view without stopping
+  /// the world. The snapshot forms a consistent cut: per gate, its
+  /// capture point is the first post-snapshot mutation of that gate
+  /// (which preserves the chunk's pre-image first — COW through the
+  /// rewiring layer when page alignment permits, a heap copy
+  /// otherwise), or the moment the snapshot reads it, whichever comes
+  /// first. Window rebalances preserve every window gate while all of
+  /// them are held, so fence moves land atomically on one side of the
+  /// cut and sequential gate iteration always yields an ordered,
+  /// retry-free scan. Reads on the snapshot (Scan/SumAll/Find) never
+  /// block writers; writers pay two relaxed loads per gate op while a
+  /// snapshot is open (one when none was ever taken) plus a one-time
+  /// per-gate preservation. Destroy the snapshot to release the pinned
+  /// structure and COW pages (retired through the epoch GC's
+  /// byte-accounted limbo).
+  std::unique_ptr<PMASnapshot> Snapshot() const;
+
+  /// Snapshots currently open / ever taken on this PMA.
+  uint64_t snapshots_open() const {
+    return snapshots_open_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_snapshots_taken() const {
+    return stat_snapshots_taken_.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes of superseded file pages kept alive only because an open
+  /// snapshot view pins them (the COW memory overhead of snapshots).
+  uint64_t cow_pages_retained_bytes() const;
+
   /// Structural validation: fences contiguous and sorted, chunk contents
   /// within fences, per-segment sortedness, index separators == fences,
   /// element count. Requires quiescence (no concurrent clients); call
@@ -303,6 +336,7 @@ class ConcurrentPMA : public OrderedMap {
 
  private:
   friend class Rebalancer;
+  friend class PMASnapshot;
 
   /// Rebalancer -> client surface: record the sticky error and invoke
   /// the callback (master thread).
@@ -319,44 +353,44 @@ class ConcurrentPMA : public OrderedMap {
   // Owner path: apply `op`, then drain the combining queue according to
   // the configured async mode. Ops that no longer fit the gate's fences
   // are pushed onto `reroute` for the caller to re-dispatch.
-  void OwnerApplyAndDrain(Snapshot* snap, Gate* gate, GateOp op,
+  void OwnerApplyAndDrain(Structure* snap, Gate* gate, GateOp op,
                           std::deque<GateOp>* reroute);
 
   /// Apply one op inside the gate, running local (in-gate) rebalances as
   /// needed. Returns false when a global rebalance is required; then
   /// *trigger_seg holds the violating segment.
-  bool ApplyOpLocal(Snapshot* snap, Gate* gate, const GateOp& op,
+  bool ApplyOpLocal(Structure* snap, Gate* gate, const GateOp& op,
                     size_t* trigger_seg);
 
   /// Apply a sorted batch of ops whose keys are within the gate's fences
   /// entirely inside the gate. Returns false when the merged result does
   /// not fit (global batch needed).
-  bool ApplyBatchLocal(Snapshot* snap, Gate* gate,
+  bool ApplyBatchLocal(Structure* snap, Gate* gate,
                        std::deque<GateOp>* pending);
 
   /// Fold a canonical batch into the gate's window with one merged
   /// spread, if the merged total fits the gate-level density threshold.
   /// Updates the element counter / batch stats and requests a shrink
   /// after net deletions. Returns false (nothing changed) otherwise.
-  bool TryMergedGateSpread(Snapshot* snap, Gate* gate,
+  bool TryMergedGateSpread(Structure* snap, Gate* gate,
                            const std::vector<BatchEntry>& ops);
 
   // In-gate navigation (caller holds the gate latch).
   // Rightmost non-empty segment of the chunk whose routing key is <= key,
   // or the leftmost non-empty segment, or seg_begin() for an empty chunk.
-  size_t LocateSegment(const Snapshot& snap, const Gate& gate, Key key) const;
+  size_t LocateSegment(const Structure& snap, const Gate& gate, Key key) const;
 
   // ------------------------------------------- optimistic read path
 
   /// LocateSegment for a reader holding no latch: tagged route loads
   /// (TSan-visible), result always within the chunk even on torn data —
   /// the caller's version validation rejects the window if it raced.
-  size_t LocateSegmentOptimistic(const Snapshot& snap, const Gate& gate,
+  size_t LocateSegmentOptimistic(const Structure& snap, const Gate& gate,
                                  Key key) const;
 
   /// One budget-bounded optimistic point lookup against `snap`.
   enum class OptRead { kHit, kMiss, kFallback, kRestart };
-  OptRead TryOptimisticFind(const Snapshot& snap, Key key,
+  OptRead TryOptimisticFind(const Structure& snap, Key key,
                             Value* value) const;
 
   /// One budget-bounded optimistic visit of a gate's chunk, staging
@@ -365,17 +399,17 @@ class ConcurrentPMA : public OrderedMap {
   /// resume point); kFallback means the budget is spent (take the READ
   /// latch); kRestart means the snapshot was retired.
   enum class OptGate { kOk, kFallback, kRestart };
-  OptGate TryOptimisticGateCopy(const Snapshot& snap, const Gate& gate,
+  OptGate TryOptimisticGateCopy(const Structure& snap, const Gate& gate,
                                 Key cursor, Key max, std::vector<Item>* out,
                                 Key* gate_high) const;
-  OptGate TryOptimisticGateSum(const Snapshot& snap, const Gate& gate,
+  OptGate TryOptimisticGateSum(const Structure& snap, const Gate& gate,
                                Key cursor, bool have_cursor,
                                uint64_t* sum_out, Key* gate_high) const;
 
   /// Blocking-path helper: stage a latched gate's chunk (range-bounded
   /// like TryOptimisticGateCopy) for emission outside the latch, so
   /// user callbacks run latch-free in both modes.
-  void CopyGateLatched(const Snapshot& snap, const Gate& gate, Key cursor,
+  void CopyGateLatched(const Structure& snap, const Gate& gate, Key cursor,
                        Key max, std::vector<Item>* out) const;
 
   /// True if the effective spread policy is adaptive (paper: one-by-one
@@ -385,10 +419,25 @@ class ConcurrentPMA : public OrderedMap {
            cfg_.async_mode != ConcurrentConfig::AsyncMode::kBatch;
   }
 
-  /// Fire-and-forget shrink check after deletions.
-  void MaybeRequestShrink(Snapshot* snap);
+  // ------------------------------------------- COW snapshots (ISSUE 9)
 
-  Snapshot* BuildInitialSnapshot();
+  /// Mutator-side hook, called with `gate` held exclusively (writer or
+  /// master) BEFORE the first storage/fence mutation of the hold: when
+  /// any open snapshot of `snap` has not captured this gate yet, build
+  /// its frozen image (GateSnap) now. Fast path: two relaxed loads (one
+  /// while no snapshot was ever taken).
+  void PreserveGateForSnapshots(Structure* snap, Gate* gate) const {
+    const uint64_t sv = snap_stamp_.load(std::memory_order_relaxed);
+    if (sv == 0) return;
+    if (gate->cow_stamp() == sv) return;
+    PreserveGateSlow(snap, gate);
+  }
+  void PreserveGateSlow(Structure* snap, Gate* gate) const;
+
+  /// Fire-and-forget shrink check after deletions.
+  void MaybeRequestShrink(Structure* snap);
+
+  Structure* BuildInitialStructure();
 
   ConcurrentConfig cfg_;
   // Effective retry budget (cfg_ value or CPMA_OPTIMISTIC_RETRIES).
@@ -401,7 +450,7 @@ class ConcurrentPMA : public OrderedMap {
   std::atomic<uint64_t> seq_gen_{1};
   std::function<void(const GateOp&)> reroute_hook_;
   mutable EpochGC gc_;
-  std::atomic<Snapshot*> snapshot_;
+  std::atomic<Structure*> structure_;
   std::atomic<size_t> count_{0};
   std::atomic<int64_t> pending_async_{0};
   std::unique_ptr<Rebalancer> rebalancer_;
@@ -420,6 +469,17 @@ class ConcurrentPMA : public OrderedMap {
   std::function<void(const Status&)> error_cb_;
   mutable std::mutex error_mu_;
   Status last_error_;
+
+  // COW snapshot registry (ISSUE 9). snap_stamp_ is bumped once per
+  // Snapshot() under snaps_mu_; a gate whose cow_stamp matches it has
+  // been preserved for every open snapshot. Preservation itself is
+  // serialized by snaps_mu_ — it runs at most once per (gate, snapshot),
+  // so contention there is a cold path by construction.
+  mutable std::mutex snaps_mu_;
+  mutable std::vector<PMASnapshot*> open_snaps_;
+  mutable std::atomic<uint64_t> snap_stamp_{0};
+  mutable std::atomic<uint64_t> stat_snapshots_taken_{0};
+  mutable std::atomic<uint64_t> snapshots_open_{0};
 };
 
 }  // namespace cpma

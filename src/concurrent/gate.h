@@ -235,6 +235,21 @@ class Gate {
   }
   size_t queue_size_unsafe() const { return queue_.size(); }
 
+  // -------------------------------------------------- COW snapshots
+  // Highest ConcurrentPMA snapshot stamp this gate's chunk has been
+  // preserved for (ISSUE 9). Written only while the gate is held
+  // exclusively (writer or master); mutators compare it (relaxed)
+  // against the PMA's global snapshot stamp before touching storage —
+  // equal means every open snapshot already has this gate's capture,
+  // so the hot path stays two relaxed loads when snapshots exist and
+  // one when none was ever taken.
+  uint64_t cow_stamp() const {
+    return cow_stamp_.load(std::memory_order_relaxed);
+  }
+  void set_cow_stamp(uint64_t stamp) {
+    cow_stamp_.store(stamp, std::memory_order_relaxed);
+  }
+
  private:
   bool FenceCheck(Key key, GateAccess* out) const {
     if (key < low_fence()) {
@@ -284,6 +299,7 @@ class Gate {
   std::atomic<Key> high_fence_{kKeySentinel};
   int64_t last_global_rebalance_ms_ = 0;
   std::atomic<uint64_t> rebal_stamp_{0};
+  std::atomic<uint64_t> cow_stamp_{0};
 };
 
 }  // namespace cpma

@@ -131,7 +131,7 @@ void Rebalancer::WatchdogLoop() {
     // snapshot alive while we walk its gates; DumpStateForStall never
     // blocks, so the watchdog cannot join the deadlock it is reporting.
     EpochGuard guard(pma_->gc_);
-    Snapshot* snap = pma_->snapshot_.load(std::memory_order_acquire);
+    Structure* snap = pma_->structure_.load(std::memory_order_acquire);
     constexpr size_t kMaxDumpGates = 32;
     const size_t dump_end = std::min({ge, snap->num_gates(),
                                       gb + kMaxDumpGates});
@@ -261,7 +261,7 @@ void Rebalancer::Dispatch(const Request& req) {
 // invalidated flag on the same release edge so optimistic readers of
 // the retired snapshot restart instead of validating stale chunks. No
 // explicit version manipulation belongs here.
-void Rebalancer::AcquireGates(Snapshot* snap, size_t nb, size_t ne,
+void Rebalancer::AcquireGates(Structure* snap, size_t nb, size_t ne,
                               size_t* gb, size_t* ge) {
   // Stamp before every potentially-blocking acquisition: a gate that
   // never frees leaves the stamp frozen in the "acquire" phase, which is
@@ -285,11 +285,11 @@ void Rebalancer::AcquireGates(Snapshot* snap, size_t nb, size_t ne,
   active_ge_.store(*ge, std::memory_order_relaxed);
 }
 
-void Rebalancer::ReleaseGates(Snapshot* snap, size_t gb, size_t ge) {
+void Rebalancer::ReleaseGates(Structure* snap, size_t gb, size_t ge) {
   for (size_t g = gb; g < ge; ++g) snap->gates[g].MasterRelease();
 }
 
-void Rebalancer::AcquireGatesAndDrain(Snapshot* snap, size_t nb, size_t ne,
+void Rebalancer::AcquireGatesAndDrain(Structure* snap, size_t nb, size_t ne,
                                       size_t* gb, size_t* ge,
                                       std::deque<GateOp>* raw) {
   const size_t old_b = *gb, old_e = *ge;
@@ -312,7 +312,7 @@ void Rebalancer::AcquireGatesAndDrain(Snapshot* snap, size_t nb, size_t ne,
 
 void Rebalancer::HandleWindowWork(const Request& req) {
   Progress("window:start");
-  Snapshot* snap = pma_->snapshot_.load(std::memory_order_acquire);
+  Structure* snap = pma_->structure_.load(std::memory_order_acquire);
   if (snap->version != req.version) return;  // resized since: gate retired
   const size_t spg = snap->segments_per_gate;
   Storage* st = snap->storage.get();
@@ -348,6 +348,14 @@ void Rebalancer::HandleWindowWork(const Request& req) {
     const double delta =
         static_cast<double>(total) / static_cast<double>(cap);
     if (delta <= bounds.Tau(level) && total + (e - b) <= cap) {
+      // COW snapshots (ISSUE 9): capture every window gate's pre-image
+      // while all of them are held, so the fence moves and the storage
+      // rewrite land atomically on one side of each snapshot's cut.
+      // (ExecuteResize needs no hook: it merges *out* of the old
+      // storage, which snapshots pin via their epoch slot.)
+      for (size_t g = b / spg; g < e / spg; ++g) {
+        pma_->PreserveGateForSnapshots(snap, &snap->gates[g]);
+      }
       Progress("window:spread");
       if (batch.empty()) {
         ExecuteSpread(snap, b, e, trigger);
@@ -375,7 +383,7 @@ void Rebalancer::HandleWindowWork(const Request& req) {
 }
 
 void Rebalancer::HandleShrink(const Request& req) {
-  Snapshot* snap = pma_->snapshot_.load(std::memory_order_acquire);
+  Structure* snap = pma_->structure_.load(std::memory_order_acquire);
   if (snap->version != req.version) return;
   if (snap->num_gates() <= 2) return;
   size_t gb = 0, ge = 0;
@@ -399,7 +407,7 @@ void Rebalancer::HandleShrink(const Request& req) {
   }
 }
 
-void Rebalancer::ExecuteSpread(Snapshot* snap, size_t seg_b, size_t seg_e,
+void Rebalancer::ExecuteSpread(Structure* snap, size_t seg_b, size_t seg_e,
                                size_t trigger_seg) {
   Storage* st = snap->storage.get();
   const size_t spg = snap->segments_per_gate;
@@ -460,7 +468,7 @@ void Rebalancer::ExecuteSpread(Snapshot* snap, size_t seg_b, size_t seg_e,
   }
 }
 
-void Rebalancer::ExecuteMergedSpread(Snapshot* snap, size_t seg_b,
+void Rebalancer::ExecuteMergedSpread(Structure* snap, size_t seg_b,
                                      size_t seg_e,
                                      const std::vector<BatchEntry>& ops,
                                      size_t merged_total) {
@@ -470,11 +478,11 @@ void Rebalancer::ExecuteMergedSpread(Snapshot* snap, size_t seg_b,
   FinishSpread(st, plan, /*swap=*/true);
 }
 
-void Rebalancer::UpdateFences(Snapshot* snap, size_t gb, size_t ge) {
+void Rebalancer::UpdateFences(Structure* snap, size_t gb, size_t ge) {
   RecomputeFences(snap, gb, ge);
 }
 
-bool Rebalancer::ExecuteResize(Snapshot* snap, std::deque<GateOp> extra) {
+bool Rebalancer::ExecuteResize(Structure* snap, std::deque<GateOp> extra) {
   Storage* st = snap->storage.get();
   // Drain every combining queue; those updates are merged into the new
   // array in one pass (then the queues' gates die with the snapshot).
@@ -503,13 +511,13 @@ bool Rebalancer::ExecuteResize(Snapshot* snap, std::deque<GateOp> extra) {
   Status status;
   std::unique_ptr<Storage> fresh =
       AllocStorageWithRetry(new_segs, total, &status);
-  Snapshot* ns = nullptr;
+  Structure* ns = nullptr;
   if (fresh != nullptr) {
     Progress("resize:merge");
     const size_t got_segs = fresh->num_segments();
     try {
       MergedStreamInto(*st, batch, total, fresh.get());
-      ns = new Snapshot();
+      ns = new Structure();
       ns->version = snap->version + 1;
       ns->segments_per_gate = snap->segments_per_gate;
       ns->storage = std::move(fresh);
@@ -539,7 +547,7 @@ bool Rebalancer::ExecuteResize(Snapshot* snap, std::deque<GateOp> extra) {
 
   Progress("resize:publish");
   pma_->count_.store(total, std::memory_order_relaxed);
-  pma_->snapshot_.store(ns, std::memory_order_release);
+  pma_->structure_.store(ns, std::memory_order_release);
   pma_->stat_resizes_.fetch_add(1, std::memory_order_relaxed);
 
   // Wake every client parked on the old gates; they observe the
@@ -551,7 +559,7 @@ bool Rebalancer::ExecuteResize(Snapshot* snap, std::deque<GateOp> extra) {
   // is its storage (live region + rebalance buffer), so a parked reader
   // pinning a few multi-MB snapshots trips the bytes watermark long
   // before the count watermark would notice.
-  const size_t snap_bytes = sizeof(Snapshot) +
+  const size_t snap_bytes = sizeof(Structure) +
                             2 * snap->storage->capacity() * sizeof(Item) +
                             snap->num_gates() * sizeof(Gate);
   pma_->gc_.Retire(snap, snap_bytes);
@@ -598,7 +606,7 @@ std::unique_ptr<Storage> Rebalancer::AllocStorageWithRetry(size_t new_segs,
   return nullptr;
 }
 
-void Rebalancer::RequeueAndReschedule(Snapshot* snap,
+void Rebalancer::RequeueAndReschedule(Structure* snap,
                                       const std::deque<GateOp>& ops) {
   const size_t num_gates = snap->num_gates();
   // Bucket the drained ops back into their fence-owning gates, in seq

@@ -118,27 +118,27 @@ class Rebalancer {
 
   /// Grow the held-gate range [*gb, *ge) to cover gates [nb, ne),
   /// acquiring the newly covered gates.
-  void AcquireGates(Snapshot* snap, size_t nb, size_t ne, size_t* gb,
+  void AcquireGates(Structure* snap, size_t nb, size_t ne, size_t* gb,
                     size_t* ge);
 
   /// AcquireGates + drain the combining queues of the newly acquired
   /// gates into *raw (decrementing the owner's pending-op counter).
-  void AcquireGatesAndDrain(Snapshot* snap, size_t nb, size_t ne, size_t* gb,
+  void AcquireGatesAndDrain(Structure* snap, size_t nb, size_t ne, size_t* gb,
                             size_t* ge, std::deque<GateOp>* raw);
-  void ReleaseGates(Snapshot* snap, size_t gb, size_t ge);
+  void ReleaseGates(Structure* snap, size_t gb, size_t ge);
 
   /// Execute a (possibly worker-parallel) spread of segments [b, e).
-  void ExecuteSpread(Snapshot* snap, size_t seg_b, size_t seg_e,
+  void ExecuteSpread(Structure* snap, size_t seg_b, size_t seg_e,
                      size_t trigger_seg);
 
   /// Merge `ops` into segments [b, e) (master-only, single-threaded).
-  void ExecuteMergedSpread(Snapshot* snap, size_t seg_b, size_t seg_e,
+  void ExecuteMergedSpread(Structure* snap, size_t seg_b, size_t seg_e,
                            const std::vector<BatchEntry>& ops,
                            size_t merged_total);
 
   /// Recompute fence keys + index separators for gates [gb, ge) after
   /// their chunks changed. Caller holds all these gates.
-  void UpdateFences(Snapshot* snap, size_t gb, size_t ge);
+  void UpdateFences(Structure* snap, size_t gb, size_t ge);
 
   /// Full resize: requires *all* gates held ([gb,ge) == [0,num_gates)).
   /// Drains every combining queue, merges those updates plus `extra`,
@@ -151,7 +151,7 @@ class Rebalancer {
   /// retry batches are scheduled, the gates are released, the error is
   /// reported through ConcurrentPMA::ReportError, and false is returned
   /// — no op is lost and the old snapshot stays live.
-  bool ExecuteResize(Snapshot* snap, std::deque<GateOp> extra = {});
+  bool ExecuteResize(Structure* snap, std::deque<GateOp> extra = {});
 
   /// The resize ladder's storage allocation: TryCreate with collect +
   /// backoff retries at `new_segs`, then halving capacities while the
@@ -165,7 +165,7 @@ class Rebalancer {
   /// later writers queue behind them), re-account pending_async_,
   /// release all gates and schedule deferred retry batches with
   /// escalating backoff.
-  void RequeueAndReschedule(Snapshot* snap, const std::deque<GateOp>& ops);
+  void RequeueAndReschedule(Structure* snap, const std::deque<GateOp>& ops);
 
   // (MasterApplyOp, a master-as-client apply for escaped ops, was
   // removed in ISSUE 5: it acquired gates WITHOUT draining their

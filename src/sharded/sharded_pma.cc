@@ -105,6 +105,18 @@ ShardedPMA::ShardedPMA(const ShardedConfig& config)
                                 : std::vector<int>{};
     }
     shards_.push_back(std::make_unique<ConcurrentPMA>(sc));
+    // Capture background errors (fired from the shard's rebalancer
+    // master thread) sticky at the fleet level: an ager-triggered flush
+    // or a background resize failure has no foreground caller to return
+    // a Status to, so without this the error would be visible only to
+    // whoever polls that individual shard.
+    shards_.back()->SetErrorCallback([this](const Status& st) {
+      {
+        std::lock_guard<std::mutex> lk(bg_err_mu_);
+        bg_error_ = st;
+      }
+      stat_background_errors_.fetch_add(1, std::memory_order_relaxed);
+    });
   }
 
   if (coalesce_ops_ > 0) {
@@ -194,7 +206,17 @@ void ShardedPMA::FlushSlotShard(ProducerSlot* slot, size_t shard_idx,
   shards_[shard_idx]->UpdateBatch(run.data(), run.size());
   stat_coalesced_flushes_.fetch_add(1, std::memory_order_relaxed);
   stat_coalesced_ops_.fetch_add(run.size(), std::memory_order_relaxed);
-  if (from_ager) stat_age_flushes_.fetch_add(1, std::memory_order_relaxed);
+  if (from_ager) {
+    stat_age_flushes_.fetch_add(1, std::memory_order_relaxed);
+    // The ager has no caller to hand an error to: surface a shard that
+    // is in a (possibly transient) error state right after its flush.
+    Status st = shards_[shard_idx]->last_error();
+    if (!st.ok()) {
+      stat_ager_error_flushes_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(bg_err_mu_);
+      bg_error_ = st;
+    }
+  }
 }
 
 ShardedPMA::ProducerSlot* ShardedPMA::SlotForThisThread() const {
@@ -363,6 +385,9 @@ ShardedPMA::Stats ShardedPMA::GetStats() const {
     st.rebalance_retries += s->num_rebalance_retries();
     st.watchdog_trips += s->num_watchdog_trips();
     if (s->fallback_backend_active()) ++st.degraded_shards;
+    st.snapshots_open += s->snapshots_open();
+    st.snapshots_taken += s->num_snapshots_taken();
+    st.cow_retained_bytes += s->cow_pages_retained_bytes();
     const EpochGCStats e = s->ebr_stats();
     st.ebr.pending_count += e.pending_count;
     st.ebr.pending_bytes += e.pending_bytes;
@@ -380,15 +405,121 @@ ShardedPMA::Stats ShardedPMA::GetStats() const {
   st.coalesced_ops = stat_coalesced_ops_.load(std::memory_order_relaxed);
   st.age_flushes = stat_age_flushes_.load(std::memory_order_relaxed);
   st.direct_ops = stat_direct_ops_.load(std::memory_order_relaxed);
+  st.background_errors =
+      stat_background_errors_.load(std::memory_order_relaxed);
+  st.ager_error_flushes =
+      stat_ager_error_flushes_.load(std::memory_order_relaxed);
   return st;
 }
 
 Status ShardedPMA::last_error() const {
+  {
+    std::lock_guard<std::mutex> lk(bg_err_mu_);
+    if (!bg_error_.ok()) return bg_error_;
+  }
   for (const auto& s : shards_) {
     Status st = s->last_error();
     if (!st.ok()) return st;
   }
   return Status::OK();
+}
+
+// --------------------------------------------- COW snapshots (ISSUE 9)
+
+std::unique_ptr<ShardedSnapshot> ShardedPMA::Snapshot() {
+  // Drain the front door: every op staged before this point reaches its
+  // shard's machinery, so the per-shard captures below sit at one
+  // front-door stamp frontier.
+  for (auto& slot : slots_) {
+    for (size_t sh = 0; sh < shards_.size(); ++sh) {
+      FlushSlotShard(slot.get(), sh, /*from_ager=*/false);
+    }
+  }
+  // And the shards' combining queues: UpdateBatch hand-offs are async,
+  // so without this wait an op staged before Snapshot() could still sit
+  // in a gate queue at capture and miss the cut. After the two-phase
+  // drain the frontier is exact: staged-before-Snapshot() ops are all
+  // in, racing concurrent ops land on one side of each gate's capture
+  // point like any other post-capture mutation.
+  for (auto& shard : shards_) shard->Flush();
+  std::unique_ptr<ShardedSnapshot> s(new ShardedSnapshot());
+  s->pma_ = this;
+  s->snaps_.reserve(shards_.size());
+  for (auto& shard : shards_) s->snaps_.push_back(shard->Snapshot());
+  return s;
+}
+
+uint64_t ShardedPMA::snapshots_open() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) n += s->snapshots_open();
+  return n;
+}
+
+bool ShardedSnapshot::Find(Key key, Value* value) const {
+  return snaps_[pma_->ShardOf(key)]->Find(key, value);
+}
+
+uint64_t ShardedSnapshot::SumAll() const {
+  uint64_t sum = 0;
+  for (const auto& s : snaps_) sum += s->SumAll();
+  return sum;
+}
+
+uint64_t ShardedSnapshot::CountItems() const {
+  uint64_t n = 0;
+  for (const auto& s : snaps_) n += s->CountItems();
+  return n;
+}
+
+void ShardedSnapshot::Scan(Key min, Key max,
+                           const ScanCallback& cb) const {
+  if (min > max) return;
+  if (pma_->config().partition == ShardedConfig::Partition::kRange ||
+      snaps_.size() == 1) {
+    // Disjoint ascending intervals: ordered scan by concatenation.
+    bool stop = false;
+    const size_t first = pma_->ShardOf(min);
+    const size_t last = pma_->ShardOf(max);
+    for (size_t i = first; i <= last && !stop; ++i) {
+      snaps_[i]->Scan(min, max, [&](Key k, Value v) {
+        if (!cb(k, v)) {
+          stop = true;
+          return false;
+        }
+        return true;
+      });
+    }
+    return;
+  }
+  // Hash partitioning: stage each shard's frozen slice of the range,
+  // then k-way merge. Frozen images don't support pull cursors, so the
+  // merge pays one staging pass per shard — snapshots are read-mostly
+  // maintenance surfaces (checkpoints, audits), not scan hot paths.
+  std::vector<std::vector<Item>> staged(snaps_.size());
+  for (size_t i = 0; i < snaps_.size(); ++i) {
+    auto& out = staged[i];
+    snaps_[i]->Scan(min, max, [&out](Key k, Value v) {
+      out.push_back(Item{k, v});
+      return true;
+    });
+  }
+  using HeapEntry = std::pair<Key, size_t>;  // (next key, stream index)
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  std::vector<size_t> pos(snaps_.size(), 0);
+  for (size_t i = 0; i < staged.size(); ++i) {
+    if (!staged[i].empty()) heap.emplace(staged[i][0].key, i);
+  }
+  while (!heap.empty()) {
+    const size_t i = heap.top().second;
+    heap.pop();
+    const Item& it = staged[i][pos[i]];
+    if (!cb(it.key, it.value)) return;
+    if (++pos[i] < staged[i].size()) {
+      heap.emplace(staged[i][pos[i]].key, i);
+    }
+  }
 }
 
 }  // namespace cpma

@@ -72,6 +72,7 @@
 #include "common/ordered_map.h"
 #include "common/status.h"
 #include "concurrent/concurrent_pma.h"
+#include "concurrent/snapshot.h"
 #include "pma/config.h"
 
 // Feature macro for externally grafted bench drivers (see the macros at
@@ -79,6 +80,39 @@
 #define CPMA_SHARDED_FRONTEND 1
 
 namespace cpma {
+
+class ShardedPMA;
+
+/// Coordinated point-in-time view over every shard (ISSUE 9): one
+/// PMASnapshot per shard, captured after the coalescing front door was
+/// drained, so the cut sits at a single front-door stamp frontier. Per
+/// shard the full PMASnapshot guarantees hold; cross-shard the cut has
+/// the same granularity a live cross-shard Scan has (per-shard capture
+/// points, not one global instant). The owning ShardedPMA must outlive
+/// the snapshot.
+class ShardedSnapshot {
+ public:
+  ShardedSnapshot(const ShardedSnapshot&) = delete;
+  ShardedSnapshot& operator=(const ShardedSnapshot&) = delete;
+
+  bool Find(Key key, Value* value) const;
+  uint64_t SumAll() const;
+  /// Ordered scan over the frozen fleet: concatenation under range
+  /// partitioning, a k-way merge of per-shard frozen streams under
+  /// hash partitioning.
+  void Scan(Key min, Key max, const ScanCallback& cb) const;
+  uint64_t CountItems() const;
+
+  size_t num_shards() const { return snaps_.size(); }
+  const PMASnapshot& shard_snapshot(size_t i) const { return *snaps_[i]; }
+
+ private:
+  friend class ShardedPMA;
+  ShardedSnapshot() = default;
+
+  const ShardedPMA* pma_ = nullptr;
+  std::vector<std::unique_ptr<PMASnapshot>> snaps_;
+};
 
 struct ShardedConfig {
   /// Per-shard ConcurrentPMA configuration. worker_cpus is overwritten
@@ -174,11 +208,40 @@ class ShardedPMA : public OrderedMap {
     uint64_t coalesced_ops = 0;      // ops that went through staging
     uint64_t age_flushes = 0;        // flushes triggered by the ager
     uint64_t direct_ops = 0;         // ops bypassing staging
+    /// Background errors reported by shard rebalancers through the
+    /// per-shard error callback (captured sticky; see last_error()).
+    uint64_t background_errors = 0;
+    /// Ager-triggered flushes that observed a non-OK shard error — the
+    /// signal a flush with no foreground caller would otherwise drop.
+    uint64_t ager_error_flushes = 0;
+    // COW snapshots / durability (ISSUE 9), summed over shards.
+    uint64_t snapshots_open = 0;
+    uint64_t snapshots_taken = 0;
+    uint64_t cow_retained_bytes = 0;
   };
   Stats GetStats() const;
 
-  /// First non-OK sticky error among shards (Status::OK when none).
+  /// Most recent background error captured from any shard's rebalancer
+  /// (including errors surfaced on the coalescing-ager thread's
+  /// flushes), else the first non-OK sticky error among shards, else
+  /// Status::OK. Errors raised with no foreground caller — an
+  /// ager-triggered flush, a master-thread resize failure — are
+  /// captured here instead of being visible only to whoever polls the
+  /// individual shard.
   Status last_error() const;
+
+  // ------------------------------------------- COW snapshots (ISSUE 9)
+
+  /// Coordinated cross-shard snapshot: drains the coalescing slots (so
+  /// every staged op up to the drain is either applied or in a shard's
+  /// combining machinery, where the per-shard capture cut orders it),
+  /// then captures one PMASnapshot per shard. Non-const because the
+  /// front-door drain dispatches staged runs.
+  std::unique_ptr<ShardedSnapshot> Snapshot();
+
+  /// Snapshots currently open across all shards (shard snapshots of a
+  /// ShardedSnapshot count individually).
+  uint64_t snapshots_open() const;
 
  private:
   // One producer's staging area: per-shard op runs. Producers map to
@@ -228,6 +291,15 @@ class ShardedPMA : public OrderedMap {
   mutable std::atomic<uint64_t> stat_coalesced_ops_{0};
   mutable std::atomic<uint64_t> stat_age_flushes_{0};
   mutable std::atomic<uint64_t> stat_direct_ops_{0};
+
+  // Background-error capture (ISSUE 9 satellite): shard error callbacks
+  // (installed at construction, fired from shard master threads) and
+  // ager-flush observations land here so last_error()/GetStats() see
+  // errors that had no foreground caller.
+  mutable std::mutex bg_err_mu_;
+  Status bg_error_;
+  mutable std::atomic<uint64_t> stat_background_errors_{0};
+  mutable std::atomic<uint64_t> stat_ager_error_flushes_{0};
 };
 
 }  // namespace cpma

@@ -242,7 +242,7 @@ TEST(EpochGCCore, ParkedScanUnderResizeChurnDrainsAfterRelease) {
     pma.Flush();
     ASSERT_LT(next, Key{1} << 24) << "writers wedged: resizes not happening";
   }
-  EXPECT_GE(pma.ebr_stats().retired_bytes, sizeof(Snapshot))
+  EXPECT_GE(pma.ebr_stats().retired_bytes, sizeof(Structure))
       << "resize must retire the old snapshot through the EBR path";
 
   release.store(true);

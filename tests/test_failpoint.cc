@@ -6,6 +6,7 @@
 #include "common/failpoint.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <thread>
 #include <vector>
@@ -177,6 +178,44 @@ TEST_F(FailpointTest, ConcurrentEvaluationIsSafe) {
   EXPECT_EQ(failpoint::Hits("test.mt"), uint64_t{kThreads} * kIters);
   EXPECT_EQ(fires.load(), failpoint::Fires("test.mt"));
   EXPECT_EQ(fires.load(), uint64_t{kThreads} * kIters / 2);
+}
+
+// ------------------------------------------------ !crash action (ISSUE 9)
+
+TEST_F(FailpointTest, CrashSuffixParses) {
+  // Every policy accepts the `!crash` action suffix.
+  EXPECT_TRUE(failpoint::Set("test.crash", "always!crash"));
+  EXPECT_TRUE(failpoint::Set("test.crash", "once!crash"));
+  EXPECT_TRUE(failpoint::Set("test.crash", "times:3!crash"));
+  EXPECT_TRUE(failpoint::Set("test.crash", "nth:5!crash"));
+  EXPECT_TRUE(failpoint::Set("test.crash", "prob:0.5:7!crash"));
+  // 'crash' is the only action; a bare or unknown action is rejected.
+  EXPECT_FALSE(failpoint::Set("test.crash2", "always!boom"));
+  EXPECT_FALSE(failpoint::Set("test.crash2", "!crash"));
+  EXPECT_FALSE(failpoint::Set("test.crash2", "always!"));
+  EXPECT_FALSE(failpoint::Armed() && failpoint::Hits("test.crash2") > 0);
+  // The config-string grammar carries the suffix through ';' clauses.
+  EXPECT_TRUE(
+      failpoint::ConfigureFromString("test.a=once!crash;test.b=nth:2"));
+}
+
+TEST_F(FailpointTest, CrashActionExitsWithCrashCode) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  // nth:3!crash: the first two hits pass through without reporting
+  // failure (the site must not fire as a soft fault), the third pulls
+  // the plug via _exit(kCrashExitCode).
+  EXPECT_EXIT(
+      {
+        failpoint::ClearAll();
+        failpoint::Set("test.exit", "nth:3!crash");
+        bool fired = false;
+        fired |= CPMA_FAILPOINT("test.exit");
+        fired |= CPMA_FAILPOINT("test.exit");
+        if (fired) ::_exit(1);  // soft-fired too early: wrong exit code
+        CPMA_FAILPOINT("test.exit");  // third hit: never returns
+        ::_exit(2);                   // unreachable if crash worked
+      },
+      ::testing::ExitedWithCode(failpoint::kCrashExitCode), "");
 }
 
 }  // namespace

@@ -11,8 +11,8 @@ namespace cpma {
 namespace {
 
 // Build a snapshot with 4 gates x 2 segments x capacity 4.
-std::unique_ptr<Snapshot> MakeSnapshot() {
-  auto snap = std::make_unique<Snapshot>();
+std::unique_ptr<Structure> MakeSnapshot() {
+  auto snap = std::make_unique<Structure>();
   snap->version = 1;
   snap->segments_per_gate = 2;
   snap->storage = std::make_unique<Storage>(8, 4, true);

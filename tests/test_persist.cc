@@ -1,0 +1,409 @@
+// Durability tier (ISSUE 9): CRC32C kernels, checkpoint round-trips,
+// and torn/tampered-checkpoint refusal.
+//
+//  - Crc32c*: known iSCSI vectors, streaming == one-shot, and the
+//    scalar/SSE4.2 kernels cross-checked on random buffers (the
+//    property the runtime dispatch relies on).
+//  - Roundtrip*: snapshot -> checkpoint -> restore reproduces the exact
+//    key/value map for a single PMA, an empty PMA, and a sharded fleet
+//    restored into a *differently partitioned* fleet (items re-route
+//    through the live router).
+//  - Torn*/Tamper*: every way a checkpoint can be damaged — a failed
+//    publication step (failpoint), a flipped chunk byte, a truncated
+//    manifest, garbage CURRENT, a deleted chunk — must leave the root
+//    either refusing the load (verify-failure counter bumps) or still
+//    serving the previous intact checkpoint. A torn checkpoint is never
+//    loadable.
+//  - Gc*: the keep-last-N retention drops old checkpoint directories
+//    but never the one CURRENT names.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/hotpath/crc32c.h"
+#include "common/random.h"
+#include "concurrent/concurrent_pma.h"
+#include "concurrent/snapshot.h"
+#include "persist/checkpoint.h"
+#include "sharded/sharded_pma.h"
+
+namespace cpma {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/cpma_persist_XXXXXX";
+    const char* p = ::mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    path_ = p;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ------------------------------------------------------------- crc32c
+
+TEST(Crc32c, KnownVectors) {
+  // iSCSI / RFC 3720 test vectors.
+  EXPECT_EQ(hotpath::Crc32c("", 0), 0x00000000u);
+  EXPECT_EQ(hotpath::Crc32c("123456789", 9), 0xE3069283u);
+  unsigned char zeros[32] = {0};
+  EXPECT_EQ(hotpath::Crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+  unsigned char ones[32];
+  std::memset(ones, 0xFF, sizeof(ones));
+  EXPECT_EQ(hotpath::Crc32c(ones, sizeof(ones)), 0x62A8AB43u);
+}
+
+TEST(Crc32c, StreamingMatchesOneShot) {
+  Random rng(7);
+  std::vector<char> buf(8192);
+  for (char& c : buf) c = static_cast<char>(rng.Next());
+  const uint32_t whole = hotpath::Crc32c(buf.data(), buf.size());
+  // Split at awkward boundaries, including 0-length pieces.
+  for (size_t cut1 : {size_t{0}, size_t{1}, size_t{7}, size_t{4096}}) {
+    for (size_t cut2 : {cut1, cut1 + 13, buf.size() - 1}) {
+      uint32_t crc = hotpath::Crc32cExtend(0, buf.data(), cut1);
+      crc = hotpath::Crc32cExtend(crc, buf.data() + cut1, cut2 - cut1);
+      crc = hotpath::Crc32cExtend(crc, buf.data() + cut2, buf.size() - cut2);
+      EXPECT_EQ(crc, whole) << "cuts " << cut1 << "/" << cut2;
+    }
+  }
+}
+
+TEST(Crc32c, KernelsAgree) {
+  const char* name = hotpath::ActiveCrc32cDispatchName();
+  EXPECT_TRUE(std::string(name) == "sse42" || std::string(name) == "scalar");
+#if defined(__x86_64__) || defined(__i386__)
+  if (!hotpath::Crc32cHaveSse42()) GTEST_SKIP() << "no SSE4.2 on this CPU";
+  Random rng(11);
+  for (size_t len : {size_t{0}, size_t{1}, size_t{3}, size_t{8}, size_t{15},
+                     size_t{64}, size_t{1000}, size_t{65536}}) {
+    std::vector<char> buf(len + 1);  // +1: never pass a null data ptr
+    for (char& c : buf) c = static_cast<char>(rng.Next());
+    EXPECT_EQ(hotpath::ScalarCrc32c(0, buf.data(), len),
+              hotpath::Sse42Crc32c(0, buf.data(), len))
+        << "len " << len;
+    // And from a nonzero seed (streaming restart).
+    EXPECT_EQ(hotpath::ScalarCrc32c(0xDEADBEEF, buf.data(), len),
+              hotpath::Sse42Crc32c(0xDEADBEEF, buf.data(), len));
+  }
+#endif
+}
+
+// ---------------------------------------------------------- roundtrips
+
+std::map<Key, Value> FillPma(ConcurrentPMA* pma, size_t n, uint64_t seed) {
+  std::map<Key, Value> oracle;
+  Random rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    Key k = rng.NextBounded(4 * n) + 1;
+    Value v = rng.Next() >> 1;
+    pma->Insert(k, v);
+    oracle[k] = v;
+  }
+  pma->Flush();
+  return oracle;
+}
+
+void ExpectExactly(const std::map<Key, Value>& oracle, OrderedMap* m) {
+  ASSERT_EQ(m->Size(), oracle.size());
+  auto it = oracle.begin();
+  m->Scan(kKeyMin, kKeyMax, [&](Key k, Value v) {
+    EXPECT_NE(it, oracle.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+    return true;
+  });
+  EXPECT_EQ(it, oracle.end());
+}
+
+TEST(Persist, RoundtripSinglePma) {
+  TempDir dir;
+  ConcurrentPMA pma;
+  auto oracle = FillPma(&pma, 5000, 42);
+
+  persist::CheckpointOptions opts;
+  opts.dir = dir.path();
+  opts.app_stamp = 5000;
+  persist::CheckpointInfo info;
+  ASSERT_TRUE(persist::Checkpoint(pma, opts, &info).ok());
+  EXPECT_EQ(info.seq, 1u);
+  EXPECT_EQ(info.app_stamp, 5000u);
+  EXPECT_EQ(info.items, oracle.size());
+  EXPECT_EQ(info.shards, 1u);
+
+  persist::CheckpointInfo latest;
+  ASSERT_TRUE(persist::LatestCheckpoint(dir.path(), &latest).ok());
+  EXPECT_EQ(latest.seq, 1u);
+  EXPECT_EQ(latest.items, oracle.size());
+
+  ConcurrentPMA restored;
+  persist::CheckpointInfo rinfo;
+  ASSERT_TRUE(persist::Restore(dir.path(), &restored, &rinfo).ok());
+  EXPECT_EQ(rinfo.app_stamp, 5000u);
+  ExpectExactly(oracle, &restored);
+}
+
+TEST(Persist, RoundtripEmptyPma) {
+  TempDir dir;
+  ConcurrentPMA pma;
+  persist::CheckpointOptions opts;
+  opts.dir = dir.path();
+  ASSERT_TRUE(persist::Checkpoint(pma, opts, nullptr).ok());
+  ConcurrentPMA restored;
+  persist::CheckpointInfo info;
+  ASSERT_TRUE(persist::Restore(dir.path(), &restored, &info).ok());
+  EXPECT_EQ(info.items, 0u);
+  EXPECT_EQ(restored.Size(), 0u);
+}
+
+TEST(Persist, RoundtripShardedAcrossPartitionings) {
+  TempDir dir;
+  std::map<Key, Value> oracle;
+  {
+    ShardedConfig cfg;
+    cfg.num_shards = 4;
+    cfg.partition = ShardedConfig::Partition::kHash;
+    ShardedPMA pma(cfg);
+    Random rng(7);
+    for (size_t i = 0; i < 4000; ++i) {
+      Key k = rng.NextBounded(100000) + 1;
+      Value v = rng.Next() >> 1;
+      pma.Insert(k, v);
+      oracle[k] = v;
+    }
+    pma.Flush();
+    persist::CheckpointOptions opts;
+    opts.dir = dir.path();
+    persist::CheckpointInfo info;
+    ASSERT_TRUE(persist::Checkpoint(pma, opts, &info).ok());
+    EXPECT_EQ(info.shards, 4u);
+    EXPECT_EQ(info.items, oracle.size());
+  }
+  // Restore into a *range*-partitioned fleet with a different shard
+  // count: items must re-route through the live router.
+  ShardedConfig cfg;
+  cfg.num_shards = 2;
+  cfg.partition = ShardedConfig::Partition::kRange;
+  ShardedPMA restored(cfg);
+  ASSERT_TRUE(persist::Restore(dir.path(), &restored, nullptr).ok());
+  ExpectExactly(oracle, &restored);
+}
+
+TEST(Persist, SecondCheckpointSupersedesAndGcKeepsTwo) {
+  TempDir dir;
+  ConcurrentPMA pma;
+  persist::CheckpointOptions opts;
+  opts.dir = dir.path();
+  opts.keep = 2;
+  for (int round = 1; round <= 3; ++round) {
+    pma.Insert(static_cast<Key>(round), static_cast<Value>(round * 10));
+    pma.Flush();
+    opts.app_stamp = static_cast<uint64_t>(round);
+    ASSERT_TRUE(persist::Checkpoint(pma, opts, nullptr).ok());
+  }
+  persist::CheckpointInfo info;
+  ASSERT_TRUE(persist::LatestCheckpoint(dir.path(), &info).ok());
+  EXPECT_EQ(info.seq, 3u);
+  EXPECT_EQ(info.app_stamp, 3u);
+  EXPECT_EQ(info.items, 3u);
+  // keep=2: ckpt-1 collected, ckpt-2 + ckpt-3 remain.
+  EXPECT_FALSE(fs::exists(dir.path() + "/ckpt-1"));
+  EXPECT_TRUE(fs::exists(dir.path() + "/ckpt-2"));
+  EXPECT_TRUE(fs::exists(dir.path() + "/ckpt-3"));
+}
+
+TEST(Persist, EmptyRootReportsNoCheckpoint) {
+  TempDir dir;
+  persist::CheckpointInfo info;
+  Status st = persist::LatestCheckpoint(dir.path(), &info);
+  EXPECT_TRUE(st.IsKeyNotFound()) << st.ToString();
+  ConcurrentPMA pma;
+  EXPECT_TRUE(persist::Restore(dir.path(), &pma, nullptr).IsKeyNotFound());
+}
+
+TEST(Persist, RestoreIntoNonEmptyRejected) {
+  TempDir dir;
+  ConcurrentPMA pma;
+  FillPma(&pma, 100, 1);
+  persist::CheckpointOptions opts;
+  opts.dir = dir.path();
+  ASSERT_TRUE(persist::Checkpoint(pma, opts, nullptr).ok());
+  EXPECT_TRUE(persist::Restore(dir.path(), &pma, nullptr).IsInvalidArgument());
+}
+
+// ------------------------------------------------- torn / tampered
+
+uint64_t VerifyFailures() {
+  return persist::Counters().restore_verify_failures.load(
+      std::memory_order_relaxed);
+}
+
+class TornCheckpointTest : public ::testing::Test {
+ protected:
+  // A root with one intact checkpoint (seq 1) of `oracle_`.
+  void SetUp() override {
+    failpoint::ClearAll();
+    pma_ = std::make_unique<ConcurrentPMA>();
+    oracle_ = FillPma(pma_.get(), 2000, 99);
+    persist::CheckpointOptions opts;
+    opts.dir = dir_.path();
+    opts.app_stamp = 2000;
+    ASSERT_TRUE(persist::Checkpoint(*pma_, opts, nullptr).ok());
+  }
+  void TearDown() override { failpoint::ClearAll(); }
+
+  void ExpectSeq1StillLoadable() {
+    persist::CheckpointInfo info;
+    ASSERT_TRUE(persist::LatestCheckpoint(dir_.path(), &info).ok());
+    EXPECT_EQ(info.seq, 1u);
+    ConcurrentPMA restored;
+    ASSERT_TRUE(persist::Restore(dir_.path(), &restored, nullptr).ok());
+    ExpectExactly(oracle_, &restored);
+  }
+
+  TempDir dir_;
+  std::unique_ptr<ConcurrentPMA> pma_;
+  std::map<Key, Value> oracle_;
+};
+
+TEST_F(TornCheckpointTest, FailedPublicationStepLeavesPreviousLoadable) {
+  if (!failpoint::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  // Fail every step of the next checkpoint's publication, one at a
+  // time. Each attempt must error out AND leave seq 1 fully loadable —
+  // the torn seq-2 artifacts are never reachable from CURRENT.
+  const char* steps[] = {
+      "persist.chunk_write",    "persist.chunk_fsync",
+      "persist.manifest_write", "persist.manifest_rename",
+      "persist.dir_fsync",      "persist.current_write",
+      "persist.current_rename",
+  };
+  for (const char* site : steps) {
+    ASSERT_TRUE(failpoint::Set(site, "once"));
+    pma_->Insert(1, 1);
+    pma_->Flush();
+    persist::CheckpointOptions opts;
+    opts.dir = dir_.path();
+    Status st = persist::Checkpoint(*pma_, opts, nullptr);
+    EXPECT_FALSE(st.ok()) << site;
+    EXPECT_NE(st.message().find(site), std::string::npos) << st.ToString();
+    failpoint::Clear(site);
+    ExpectSeq1StillLoadable();
+  }
+  // With no failpoints armed the next attempt succeeds and supersedes.
+  pma_->Flush();
+  persist::CheckpointOptions opts;
+  opts.dir = dir_.path();
+  persist::CheckpointInfo info;
+  ASSERT_TRUE(persist::Checkpoint(*pma_, opts, &info).ok());
+  EXPECT_GE(info.seq, 2u);
+}
+
+TEST_F(TornCheckpointTest, FlippedChunkByteRefused) {
+  const std::string chunk = dir_.path() + "/ckpt-1/shard-0.dat";
+  ASSERT_TRUE(fs::exists(chunk));
+  // Flip one payload byte in place.
+  std::fstream f(chunk, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(200);
+  char c;
+  f.seekg(200);
+  f.get(c);
+  f.seekp(200);
+  f.put(static_cast<char>(c ^ 0x01));
+  f.close();
+
+  const uint64_t before = VerifyFailures();
+  std::vector<Item> items;
+  Status st = persist::ReadCheckpointItems(dir_.path(), &items, nullptr);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("checksum"), std::string::npos) << st.ToString();
+  EXPECT_GT(VerifyFailures(), before);
+  ConcurrentPMA restored;
+  EXPECT_FALSE(persist::Restore(dir_.path(), &restored, nullptr).ok());
+  EXPECT_EQ(restored.Size(), 0u);  // refused before touching the target
+}
+
+TEST_F(TornCheckpointTest, TruncatedChunkRefused) {
+  const std::string chunk = dir_.path() + "/ckpt-1/shard-0.dat";
+  const auto size = fs::file_size(chunk);
+  fs::resize_file(chunk, size - 7);
+  const uint64_t before = VerifyFailures();
+  std::vector<Item> items;
+  EXPECT_FALSE(persist::ReadCheckpointItems(dir_.path(), &items, nullptr).ok());
+  EXPECT_GT(VerifyFailures(), before);
+}
+
+TEST_F(TornCheckpointTest, TruncatedManifestRefused) {
+  const std::string manifest = dir_.path() + "/ckpt-1/MANIFEST";
+  const auto size = fs::file_size(manifest);
+  fs::resize_file(manifest, size - 3);  // cuts into the trailing crc line
+  const uint64_t before = VerifyFailures();
+  persist::CheckpointInfo info;
+  EXPECT_FALSE(persist::LatestCheckpoint(dir_.path(), &info).ok());
+  EXPECT_GT(VerifyFailures(), before);
+}
+
+TEST_F(TornCheckpointTest, EditedManifestFailsItsCrc) {
+  const std::string manifest = dir_.path() + "/ckpt-1/MANIFEST";
+  std::string text;
+  {
+    std::ifstream in(manifest);
+    std::getline(in, text, '\0');
+  }
+  // A plausible-looking edit (inflate the item count) without
+  // recomputing the trailing crc.
+  size_t pos = text.find("items ");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 6] = '9';
+  {
+    std::ofstream out(manifest, std::ios::trunc);
+    out << text;
+  }
+  const uint64_t before = VerifyFailures();
+  persist::CheckpointInfo info;
+  Status st = persist::LatestCheckpoint(dir_.path(), &info);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("checksum"), std::string::npos) << st.ToString();
+  EXPECT_GT(VerifyFailures(), before);
+}
+
+TEST_F(TornCheckpointTest, GarbageCurrentRefused) {
+  {
+    std::ofstream out(dir_.path() + "/CURRENT", std::ios::trunc);
+    out << "../../etc/passwd\n";
+  }
+  const uint64_t before = VerifyFailures();
+  persist::CheckpointInfo info;
+  EXPECT_FALSE(persist::LatestCheckpoint(dir_.path(), &info).ok());
+  EXPECT_GT(VerifyFailures(), before);
+}
+
+TEST_F(TornCheckpointTest, MissingChunkRefused) {
+  fs::remove(dir_.path() + "/ckpt-1/shard-0.dat");
+  const uint64_t before = VerifyFailures();
+  std::vector<Item> items;
+  EXPECT_FALSE(persist::ReadCheckpointItems(dir_.path(), &items, nullptr).ok());
+  EXPECT_GT(VerifyFailures(), before);
+}
+
+}  // namespace
+}  // namespace cpma
