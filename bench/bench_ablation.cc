@@ -51,17 +51,21 @@ void Row(const char* what, const char* label, OrderedMap* m,
   std::printf("%-22s %-10s %14.3f %14.3f\n", label, DistName(w.dist),
               r.update_mops, r.scan_meps);
   std::fflush(stdout);
-  json->Add()
-      .Str("what", what)
-      .Str("structure", label)
-      .Str("dist", DistName(w.dist))
-      .Int("update_threads", static_cast<uint64_t>(w.update_threads))
-      .Int("scan_threads", static_cast<uint64_t>(w.scan_threads))
-      .Int("ops", w.num_ops)
-      .Int("range", w.key_range)
-      .Num("update_mops", r.update_mops)
-      .Num("scan_meps", r.scan_meps)
-      .Num("seconds", r.seconds);
+  JsonRecord& rec =
+      json->Add()
+          .Str("what", what)
+          .Str("structure", label)
+          .Str("dist", DistName(w.dist))
+          .Int("update_threads", static_cast<uint64_t>(w.update_threads))
+          .Int("scan_threads", static_cast<uint64_t>(w.scan_threads))
+          .Int("ops", w.num_ops)
+          .Int("range", w.key_range)
+          .Num("update_mops", r.update_mops)
+          .Num("scan_meps", r.scan_meps)
+          .Num("seconds", r.seconds);
+  AddLatencyFields(rec, "update", r.update_lat);
+  AddLatencyFields(rec, "scan", r.scan_lat);
+  AddPlacementFields(rec);
 }
 
 void LeafAblation(size_t ops, uint64_t range, BenchJson* json) {

@@ -77,18 +77,22 @@ void RunPlot(char plot, size_t ops, uint64_t range, BenchJson* json) {
       std::printf("%-10s %-10s %14.3f %14.3f %10.2f\n", which,
                   DistName(dist), r.update_mops, r.scan_meps, r.seconds);
       std::fflush(stdout);
-      json->Add()
-          .Str("plot", std::string(1, plot))
-          .Str("structure", which)
-          .Str("dist", DistName(dist))
-          .Int("update_threads", static_cast<uint64_t>(upd))
-          .Int("scan_threads", static_cast<uint64_t>(scan))
-          .Bool("mixed", mixed)
-          .Int("ops", ops)
-          .Int("range", range)
-          .Num("update_mops", r.update_mops)
-          .Num("scan_meps", r.scan_meps)
-          .Num("seconds", r.seconds);
+      JsonRecord& rec =
+          json->Add()
+              .Str("plot", std::string(1, plot))
+              .Str("structure", which)
+              .Str("dist", DistName(dist))
+              .Int("update_threads", static_cast<uint64_t>(upd))
+              .Int("scan_threads", static_cast<uint64_t>(scan))
+              .Bool("mixed", mixed)
+              .Int("ops", ops)
+              .Int("range", range)
+              .Num("update_mops", r.update_mops)
+              .Num("scan_meps", r.scan_meps)
+              .Num("seconds", r.seconds);
+      AddLatencyFields(rec, "update", r.update_lat);
+      AddLatencyFields(rec, "scan", r.scan_lat);
+      AddPlacementFields(rec);
     }
   }
 }

@@ -60,18 +60,22 @@ void RunPanel(int upd_threads, size_t ops, uint64_t range, BenchJson* json) {
       std::printf("%-16s %-10s %14.3f %9.2fx\n", spec.label, DistName(dist),
                   r.update_mops, r.update_mops / baseline);
       std::fflush(stdout);
-      json->Add()
-          .Str("scheme", spec.label)
-          .Str("dist", DistName(dist))
-          .Int("update_threads", static_cast<uint64_t>(upd_threads))
-          .Int("scan_threads", static_cast<uint64_t>(scan_threads))
-          .Int("t_delay_ms", static_cast<uint64_t>(spec.t_delay_ms))
-          .Int("ops", ops)
-          .Int("range", range)
-          .Num("update_mops", r.update_mops)
-          .Num("scan_meps", r.scan_meps)
-          .Num("speedup", r.update_mops / baseline)
-          .Num("seconds", r.seconds);
+      JsonRecord& rec =
+          json->Add()
+              .Str("scheme", spec.label)
+              .Str("dist", DistName(dist))
+              .Int("update_threads", static_cast<uint64_t>(upd_threads))
+              .Int("scan_threads", static_cast<uint64_t>(scan_threads))
+              .Int("t_delay_ms", static_cast<uint64_t>(spec.t_delay_ms))
+              .Int("ops", ops)
+              .Int("range", range)
+              .Num("update_mops", r.update_mops)
+              .Num("scan_meps", r.scan_meps)
+              .Num("speedup", r.update_mops / baseline)
+              .Num("seconds", r.seconds);
+      AddLatencyFields(rec, "update", r.update_lat);
+      AddLatencyFields(rec, "scan", r.scan_lat);
+      AddPlacementFields(rec);
     }
   }
 }

@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -24,6 +25,7 @@
 #include "common/random.h"
 #include "common/timer.h"
 #include "common/zipf.h"
+#include "concurrent/event_ring.h"
 
 // Git revision baked in by bench/CMakeLists.txt (git describe
 // --always --dirty at configure time) so every emitted record names the
@@ -142,6 +144,124 @@ inline uint64_t NowNanos() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+// -------------------------------------------------- tail attribution
+//
+// ISSUE 10: percentiles say HOW BAD the tail is, not WHY. TailRecorder
+// keeps the K slowest sampled op windows of a run; after the run, each
+// window is matched against the mechanism events the structure recorded
+// into TailEventRing (read fallbacks, rebalance windows, resizes,
+// coalescing flushes, watchdog stalls) by time overlap. Each tail op is
+// attributed to the highest-priority overlapping mechanism — stall >
+// resize > rebalance > flush > fallback — because the heavier mechanism
+// subsumes the lighter one (a resize implies fallbacks under it).
+// Best-effort by design: the ring is bounded (overwritten events blur
+// attribution, never crash it) and overlap is correlation, not proof.
+
+class TailRecorder {
+ public:
+  explicit TailRecorder(size_t k = 512) : k_(k) {}
+
+  struct OpWindow {
+    uint64_t start_ns = 0;
+    uint64_t end_ns = 0;
+    uint64_t dur_ns() const { return end_ns - start_ns; }
+  };
+
+  /// Offer one sampled op window; keeps the k slowest seen so far.
+  void Offer(uint64_t start_ns, uint64_t end_ns) {
+    const uint64_t dur = end_ns - start_ns;
+    if (wins_.size() < k_) {
+      wins_.push_back({start_ns, end_ns});
+      if (wins_.size() == k_) BuildHeap();
+      return;
+    }
+    if (dur <= wins_.front().dur_ns()) return;
+    PopMin();
+    wins_.back() = {start_ns, end_ns};
+    PushLast();
+  }
+
+  void Merge(const TailRecorder& other) {
+    for (const OpWindow& w : other.wins_) Offer(w.start_ns, w.end_ns);
+  }
+
+  struct Attribution {
+    uint64_t stall = 0;      // overlapped a watchdog-stall trip
+    uint64_t resize = 0;     // overlapped a resize span
+    uint64_t rebalance = 0;  // overlapped a window-rebalance span
+    uint64_t flush = 0;      // overlapped a coalescing-flush dispatch
+    uint64_t fallback = 0;   // overlapped a seqlock read fallback
+    uint64_t none = 0;       // no recorded mechanism overlapped
+    uint64_t ops = 0;        // tail ops attributed (== sum of above)
+    uint64_t threshold_ns = 0;  // fastest op that still made the tail set
+  };
+
+  /// Attribute the kept windows against drained ring events. O(K * E);
+  /// both are bounded small (K <= 512, E <= ring capacity).
+  Attribution Attribute(const std::vector<TailEventRecord>& events) const {
+    Attribution a;
+    a.ops = wins_.size();
+    for (const OpWindow& w : wins_) {
+      int best = -1;  // priority rank of the best overlapping event
+      for (const TailEventRecord& e : events) {
+        if (e.start_ns > w.end_ns || e.end_ns < w.start_ns) continue;
+        best = std::max(best, Priority(e.type));
+      }
+      switch (best) {
+        case 4: ++a.stall; break;
+        case 3: ++a.resize; break;
+        case 2: ++a.rebalance; break;
+        case 1: ++a.flush; break;
+        case 0: ++a.fallback; break;
+        default: ++a.none; break;
+      }
+      a.threshold_ns = a.threshold_ns == 0
+                           ? w.dur_ns()
+                           : std::min(a.threshold_ns, w.dur_ns());
+    }
+    return a;
+  }
+
+  size_t size() const { return wins_.size(); }
+
+ private:
+  static int Priority(TailEvent t) {
+    switch (t) {
+      case TailEvent::kWatchdogStall: return 4;
+      case TailEvent::kResize: return 3;
+      case TailEvent::kRebalanceWindow: return 2;
+      case TailEvent::kCoalesceFlush: return 1;
+      case TailEvent::kReadFallback: return 0;
+    }
+    return -1;
+  }
+
+  // Min-heap on duration over wins_ (only once it reaches k_), so the
+  // common case — a sampled op faster than the current floor — is one
+  // comparison against wins_.front().
+  void BuildHeap() {
+    auto cmp = [](const OpWindow& a, const OpWindow& b) {
+      return a.dur_ns() > b.dur_ns();
+    };
+    std::make_heap(wins_.begin(), wins_.end(), cmp);
+  }
+  void PopMin() {
+    auto cmp = [](const OpWindow& a, const OpWindow& b) {
+      return a.dur_ns() > b.dur_ns();
+    };
+    std::pop_heap(wins_.begin(), wins_.end(), cmp);
+  }
+  void PushLast() {
+    auto cmp = [](const OpWindow& a, const OpWindow& b) {
+      return a.dur_ns() > b.dur_ns();
+    };
+    std::push_heap(wins_.begin(), wins_.end(), cmp);
+  }
+
+  size_t k_;
+  std::vector<OpWindow> wins_;
+};
 
 struct WorkloadResult {
   double update_mops = 0;   // updates per second, millions
@@ -351,6 +471,28 @@ inline JsonRecord& AddLatencyFields(JsonRecord& rec,
       .Int(prefix + "_lat_samples", lat.count());
 }
 
+/// Attach a tail-attribution breakdown (ISSUE 10) under the `tail_`
+/// prefix, plus the per-mechanism event counts the ring saw during the
+/// run under `ev_`. Both prefixes are VOLATILE in scripts/bench_diff.py
+/// — measurements of what the structure did, never record identity.
+inline JsonRecord& AddTailFields(JsonRecord& rec,
+                                 const TailRecorder::Attribution& a,
+                                 const TailEventRing& ring) {
+  rec.Int("tail_ops", a.ops)
+      .Int("tail_thresh_ns", a.threshold_ns)
+      .Int("tail_attr_stall", a.stall)
+      .Int("tail_attr_resize", a.resize)
+      .Int("tail_attr_rebalance", a.rebalance)
+      .Int("tail_attr_flush", a.flush)
+      .Int("tail_attr_fallback", a.fallback)
+      .Int("tail_attr_none", a.none);
+  return rec.Int("ev_read_fallbacks", ring.count(TailEvent::kReadFallback))
+      .Int("ev_rebalances", ring.count(TailEvent::kRebalanceWindow))
+      .Int("ev_resizes", ring.count(TailEvent::kResize))
+      .Int("ev_flushes", ring.count(TailEvent::kCoalesceFlush))
+      .Int("ev_stalls", ring.count(TailEvent::kWatchdogStall));
+}
+
 /// Attach where the workload's threads actually ran (ISSUE 8): the
 /// allowed-CPU/topology summary from common/pin.h. A scaling curve from
 /// a 1-core container and one from a 32-core box must not be comparable
@@ -370,9 +512,11 @@ inline JsonRecord& AddPlacementFields(JsonRecord& rec) {
 class BenchJson {
  public:
   BenchJson(const Flags& flags, std::string bench)
-      : path_(flags.Get("json", "")), bench_(std::move(bench)) {}
+      : path_(flags.Get("json", "")),
+        jsonl_path_(flags.Get("jsonl", "")),
+        bench_(std::move(bench)) {}
 
-  bool enabled() const { return !path_.empty(); }
+  bool enabled() const { return !path_.empty() || !jsonl_path_.empty(); }
 
   /// New record pre-filled with the bench name, git sha and dispatch.
   JsonRecord& Add() {
@@ -383,34 +527,58 @@ class BenchJson {
         .Str("dispatch", hotpath::ActiveDispatchName());
   }
 
-  /// Write the array; returns false (with a message) on I/O failure.
+  /// Write the array (--json) and/or append one record per line
+  /// (--jsonl, the nightly-artifact shape — appends across invocations
+  /// so a soak accumulates a trend file). Returns false on I/O failure.
   bool Write() const {
-    if (!enabled()) return true;
-    std::FILE* f = std::fopen(path_.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "bench: cannot open --json path %s\n",
-                   path_.c_str());
-      return false;
-    }
-    std::fputs("[\n", f);
-    for (size_t r = 0; r < records_.size(); ++r) {
-      std::fputs("  {", f);
-      const auto& fields = records_[r].fields_;
-      for (size_t i = 0; i < fields.size(); ++i) {
-        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
-                     fields[i].first.c_str(), fields[i].second.c_str());
+    if (!path_.empty()) {
+      std::FILE* f = std::fopen(path_.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "bench: cannot open --json path %s\n",
+                     path_.c_str());
+        return false;
       }
-      std::fprintf(f, "}%s\n", r + 1 == records_.size() ? "" : ",");
+      std::fputs("[\n", f);
+      for (size_t r = 0; r < records_.size(); ++r) {
+        std::fputs("  {", f);
+        WriteFields(f, records_[r]);
+        std::fprintf(f, "}%s\n", r + 1 == records_.size() ? "" : ",");
+      }
+      std::fputs("]\n", f);
+      std::fclose(f);
+      std::printf("# wrote %zu record(s) to %s\n", records_.size(),
+                  path_.c_str());
     }
-    std::fputs("]\n", f);
-    std::fclose(f);
-    std::printf("# wrote %zu record(s) to %s\n", records_.size(),
-                path_.c_str());
+    if (!jsonl_path_.empty()) {
+      std::FILE* f = std::fopen(jsonl_path_.c_str(), "a");
+      if (f == nullptr) {
+        std::fprintf(stderr, "bench: cannot open --jsonl path %s\n",
+                     jsonl_path_.c_str());
+        return false;
+      }
+      for (const JsonRecord& rec : records_) {
+        std::fputs("{", f);
+        WriteFields(f, rec);
+        std::fputs("}\n", f);
+      }
+      std::fclose(f);
+      std::printf("# appended %zu record(s) to %s\n", records_.size(),
+                  jsonl_path_.c_str());
+    }
     return true;
   }
 
  private:
+  static void WriteFields(std::FILE* f, const JsonRecord& rec) {
+    for (size_t i = 0; i < rec.fields_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                   rec.fields_[i].first.c_str(),
+                   rec.fields_[i].second.c_str());
+    }
+  }
+
   std::string path_;
+  std::string jsonl_path_;
   std::string bench_;
   std::vector<JsonRecord> records_;
 };

@@ -27,6 +27,7 @@ import sys
 METRICS = {
     "update_mops": +1,
     "scan_meps": +1,
+    "ops_mops": +1,
     "items_per_second": +1,
     "cpu_time": -1,
     "real_time": -1,
@@ -73,9 +74,11 @@ VOLATILE = {
 # between runs and absent on trees without the latency histograms, so
 # they must not split identities; agg_* / ebr_* are the sharded front
 # end's aggregated per-shard counters, measurements like their
-# un-aggregated ISSUE 4/6/7 counterparts above.
+# un-aggregated ISSUE 4/6/7 counterparts above; tail_* / ev_* (ISSUE
+# 10) are the tail-attribution breakdown and the mechanism-event counts
+# the ring saw — what the structure did during the run, never identity.
 VOLATILE_SUFFIXES = ("_ns", "_lat_samples")
-VOLATILE_PREFIXES = ("agg_", "ebr_")
+VOLATILE_PREFIXES = ("agg_", "ebr_", "tail_", "ev_")
 
 
 def is_volatile(field):

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Bench regression gate (ISSUE 4): run the CI-scale read-path,
-# rebalance, and sharded front-end benchmarks and fail on >threshold
-# throughput regressions via scripts/bench_diff.py --check, instead of
-# waiting for someone to run the benches by hand.
+# rebalance, sharded front-end, and YCSB standard-mix benchmarks and
+# fail on >threshold throughput regressions via scripts/bench_diff.py
+# --check, instead of waiting for someone to run the benches by hand.
 #
 #   scripts/bench_gate.sh                  # vs committed bench/baseline/
 #   scripts/bench_gate.sh --update         # regenerate those baselines
@@ -30,7 +30,7 @@
 # process runs and belong to the full-size BENCH_PR*.json methodology,
 # not a pass/fail gate.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 if [[ "${CPMA_SKIP_BENCH_GATE:-0}" == 1 ]]; then
   echo "bench_gate: skipped (CPMA_SKIP_BENCH_GATE=1)"
@@ -54,6 +54,13 @@ REBAL_ARGS=(--ops=400000 --segments=512 --batch=2048 --threads=4 --reps=5
 SHARDED_ARGS=(--ops=300000 --preload=150000 --threads=4 --reps=3
               --shards=1,2 --scan_passes=8
               --what=insert_heavy,read_mostly)
+# YCSB standard mixes (ISSUE 10): the two gated backends at CI scale,
+# update-heavy + read-latest (the rebalance-exercising mixes). Gated in
+# committed-baseline mode only, like sharded — in --relative mode the
+# base tree predates bench/workloads.h and the tail-attribution driver
+# API, so the driver cannot be grafted onto it.
+YCSB_ARGS=(--records=60000 --ops=200000 --threads=4
+           --mixes=A,D --backends=pma,sharded)
 
 mkdir -p "$OUT"
 run_benches() {
@@ -65,12 +72,14 @@ run_benches() {
   if [[ "$sharded" != "--no-sharded" ]]; then
     "$bindir/bench_sharded" "${SHARDED_ARGS[@]}" \
       --json="$outdir/sharded.json"
+    "$bindir/bench_ycsb" "${YCSB_ARGS[@]}" \
+      --json="$outdir/ycsb.json"
   fi
 }
 
 compare() {
   local basedir="$1" canddir="$2" status=0
-  for f in readpath rebalance sharded; do
+  for f in readpath rebalance sharded ycsb; do
     if [[ ! -f "$basedir/$f.json" || ! -f "$canddir/$f.json" ]]; then
       echo "--- bench_gate: $f skipped (missing on one side) ---"
       continue
@@ -144,15 +153,16 @@ if [[ "${1:-}" == "--relative" ]]; then
   cmake --build "$base_wt/build" -j "$(nproc)" \
     --target bench_readpath bench_rebalance >/dev/null
   mkdir -p "$OUT/base" "$OUT/cand"
-  # Both sides skip bench_sharded: the base tree cannot build it, and a
-  # candidate-only run would have nothing to gate against.
+  # Both sides skip bench_sharded and bench_ycsb: the base tree cannot
+  # build them, and a candidate-only run would have nothing to gate
+  # against.
   run_benches "$base_wt/build/bench" "$OUT/base" --no-sharded
   run_benches "./$BUILD/bench" "$OUT/cand" --no-sharded
   compare "$OUT/base" "$OUT/cand"
   exit $?
 fi
 
-for f in readpath rebalance sharded; do
+for f in readpath rebalance sharded ycsb; do
   if [[ ! -f "$BASELINE_DIR/$f.json" ]]; then
     echo "bench_gate: missing $BASELINE_DIR/$f.json" \
          "(run scripts/bench_gate.sh --update and commit)" >&2

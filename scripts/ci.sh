@@ -14,7 +14,7 @@
 # presets, so the build trees land in build/, build-asan/, build-tsan/.
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 JOBS="${JOBS:-$(nproc)}"
 FAST=0
 BENCH_RELATIVE=0

@@ -14,6 +14,7 @@
 #include "common/hotpath/search.h"
 #include "common/hotpath/tagged.h"
 #include "common/timer.h"
+#include "concurrent/event_ring.h"
 #include "concurrent/rebalancer.h"
 #include "pma/density.h"
 #include "pma/spread.h"
@@ -700,6 +701,7 @@ bool ConcurrentPMA::Find(Key key, Value* value) const {
         break;
     }
     stat_read_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    TailEventRing::Global().RecordInstant(TailEvent::kReadFallback);
     // Blocking fallback: the pre-optimistic READ-latch protocol.
     size_t gid = snap->index->Lookup(key);
     GateAccess a;
@@ -801,6 +803,7 @@ uint64_t ConcurrentPMA::SumAll() const {
       }
       if (r == OptGate::kFallback) {
         stat_read_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        TailEventRing::Global().RecordInstant(TailEvent::kReadFallback);
         if (gate->ReaderAccess(nullptr) == GateAccess::kInvalidated) {
           guard.Refresh();
           restart = true;
@@ -930,6 +933,7 @@ bool ConcurrentPMA::ScanCursor::NextChunk(std::vector<Item>* out) {
       }
       if (r == OptGate::kFallback) {
         pma_.stat_read_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        TailEventRing::Global().RecordInstant(TailEvent::kReadFallback);
         if (gate->ReaderAccess(nullptr) == GateAccess::kInvalidated) {
           guard_.Refresh();
           restart = true;

@@ -1,0 +1,76 @@
+#include "concurrent/event_ring.h"
+
+#include <chrono>
+
+namespace cpma {
+
+const char* TailEventName(TailEvent e) {
+  switch (e) {
+    case TailEvent::kReadFallback: return "read_fallback";
+    case TailEvent::kRebalanceWindow: return "rebalance_window";
+    case TailEvent::kResize: return "resize";
+    case TailEvent::kCoalesceFlush: return "coalesce_flush";
+    case TailEvent::kWatchdogStall: return "watchdog_stall";
+  }
+  return "?";
+}
+
+TailEventRing& TailEventRing::Global() {
+  // Leaked on purpose: producer threads (rebalancer masters, agers) may
+  // outlive main()'s static destruction order in abnormal exits.
+  static TailEventRing* ring = new TailEventRing();
+  return *ring;
+}
+
+uint64_t TailEventRing::NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void TailEventRing::Record(TailEvent type, uint64_t start_ns,
+                           uint64_t end_ns) {
+  if (!enabled()) return;
+  counts_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
+  const uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[ticket & (kCapacity - 1)];
+  // Seqlock write: odd = in progress. The release on the closing store
+  // orders the payload before the stable sequence for acquiring readers.
+  s.seq.store(2 * ticket + 1, std::memory_order_release);
+  s.type.store(static_cast<uint32_t>(type), std::memory_order_relaxed);
+  s.start_ns.store(start_ns, std::memory_order_relaxed);
+  s.end_ns.store(end_ns, std::memory_order_relaxed);
+  s.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+void TailEventRing::Drain(std::vector<TailEventRecord>* out) const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t lo = head > kCapacity ? head - kCapacity : 0;
+  for (uint64_t t = lo; t < head; ++t) {
+    const Slot& s = slots_[t & (kCapacity - 1)];
+    const uint64_t want = 2 * t + 2;
+    if (s.seq.load(std::memory_order_acquire) != want) continue;
+    TailEventRecord rec;
+    rec.type = static_cast<TailEvent>(s.type.load(std::memory_order_relaxed));
+    rec.start_ns = s.start_ns.load(std::memory_order_relaxed);
+    rec.end_ns = s.end_ns.load(std::memory_order_relaxed);
+    // Re-check: a producer lapping the ring mid-read bumps the slot off
+    // `want`, invalidating the (still untorn) copy above.
+    if (s.seq.load(std::memory_order_acquire) != want) continue;
+    out->push_back(rec);
+  }
+}
+
+void TailEventRing::Reset() {
+  // head_ keeps advancing monotonically; stamping every slot back to an
+  // "unwritten" sequence (0 is never a valid stable seq for tickets
+  // whose slot index would map here again, because stable seqs are
+  // keyed to the ticket) makes Drain skip pre-Reset events.
+  for (size_t i = 0; i < kCapacity; ++i) {
+    slots_[i].seq.store(0, std::memory_order_release);
+  }
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace cpma

@@ -1,0 +1,131 @@
+// Tail-latency event ring (ISSUE 10): a process-global, lock-free,
+// fixed-capacity ring of timestamped mechanism events — seqlock read
+// fallbacks, rebalance windows, resizes, coalescing flushes, watchdog
+// stall trips — so a workload driver can correlate its sampled
+// high-latency ops against what the structure was doing at that moment
+// and report which mechanism owns the p999 ("there are spikes" becomes
+// "82% of the tail overlapped a resize window").
+//
+// Design constraints, in order:
+//  - Disabled cost ~0. Every producer site guards on one relaxed load
+//    of `enabled_`; the ring ships disabled and only bench drivers turn
+//    it on. The instrumented sites are all already-slow paths (a
+//    blocking fallback, a rebalance, a batch flush), never the
+//    optimistic fast path.
+//  - TSan-clean without locks. Slots are seqlock-versioned and every
+//    payload field is a relaxed atomic, so a torn read is impossible by
+//    construction and a concurrent overwrite is detected by the slot's
+//    sequence (keyed to the producer ticket) and skipped by Drain().
+//  - Bounded. Capacity is a power of two; producers overwrite the
+//    oldest slot. Overflow loses old events (counted per type in
+//    `counts_`, which never wrap), which only blurs attribution for
+//    runs that drain too rarely — drivers drain once per workload.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cpma {
+
+enum class TailEvent : uint32_t {
+  kReadFallback = 0,    // optimistic read exhausted retries -> READ latch
+  kRebalanceWindow = 1, // master executing one window rebalance
+  kResize = 2,          // full-array resize (drain/alloc/merge/publish)
+  kCoalesceFlush = 3,   // sharded front end dispatching a coalesced run
+  kWatchdogStall = 4,   // rebalancer watchdog trip (no progress)
+};
+constexpr int kNumTailEvents = 5;
+
+const char* TailEventName(TailEvent e);
+
+struct TailEventRecord {
+  TailEvent type = TailEvent::kReadFallback;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;  // == start_ns for instantaneous events
+};
+
+class TailEventRing {
+ public:
+  static constexpr size_t kCapacity = 1 << 15;  // 32768 slots, pow2
+
+  /// The process-global ring all instrumented sites record into.
+  static TailEventRing& Global();
+
+  /// Monotonic clock shared with bench/driver.h NowNanos() so op
+  /// windows and event spans are directly comparable.
+  static uint64_t NowNs();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Record a [start_ns, end_ns] span. No-op while disabled.
+  void Record(TailEvent type, uint64_t start_ns, uint64_t end_ns);
+
+  /// Record an instantaneous event at now. No-op while disabled.
+  void RecordInstant(TailEvent type) {
+    if (!enabled()) return;
+    const uint64_t now = NowNs();
+    Record(type, now, now);
+  }
+
+  /// Events of `type` recorded since the last Reset() (not since the
+  /// last Drain; overwritten slots still count).
+  uint64_t count(TailEvent type) const {
+    return counts_[static_cast<size_t>(type)].load(std::memory_order_relaxed);
+  }
+
+  /// Copy every still-valid slot into *out (appended), oldest first.
+  /// Concurrent producers may invalidate slots mid-drain; those are
+  /// skipped, never torn.
+  void Drain(std::vector<TailEventRecord>* out) const;
+
+  /// Forget everything recorded so far (counts and slots). Callers
+  /// serialize Reset() against their own producers; bench drivers call
+  /// it between the preload and the measured phase.
+  void Reset();
+
+ private:
+  struct Slot {
+    // seq == 2*ticket+1 while the owning producer writes, 2*ticket+2
+    // once slot content is that ticket's event. A reader accepts a slot
+    // only when seq reads the same "stable" value before and after the
+    // payload loads.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint32_t> type{0};
+    std::atomic<uint64_t> start_ns{0};
+    std::atomic<uint64_t> end_ns{0};
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> head_{0};  // next ticket; slot = ticket % capacity
+  std::atomic<uint64_t> counts_[kNumTailEvents] = {};
+  std::vector<Slot> slots_{kCapacity};
+};
+
+/// RAII span: stamps start at construction, records on destruction.
+/// One relaxed load when the ring is disabled.
+class TailSpan {
+ public:
+  explicit TailSpan(TailEvent type)
+      : type_(type),
+        start_ns_(TailEventRing::Global().enabled() ? TailEventRing::NowNs()
+                                                    : 0) {}
+  ~TailSpan() {
+    if (start_ns_ != 0) {
+      TailEventRing::Global().Record(type_, start_ns_,
+                                     TailEventRing::NowNs());
+    }
+  }
+  TailSpan(const TailSpan&) = delete;
+  TailSpan& operator=(const TailSpan&) = delete;
+
+ private:
+  TailEvent type_;
+  uint64_t start_ns_;
+};
+
+}  // namespace cpma

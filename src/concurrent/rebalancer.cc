@@ -8,6 +8,7 @@
 #include "common/failpoint.h"
 #include "common/pin.h"
 #include "common/timer.h"
+#include "concurrent/event_ring.h"
 #include "pma/density.h"
 
 namespace cpma {
@@ -119,6 +120,7 @@ void Rebalancer::WatchdogLoop() {
     // stderr while still leaving a trail.
     if ((stalled_intervals & (stalled_intervals - 1)) != 0) continue;
     watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
+    TailEventRing::Global().RecordInstant(TailEvent::kWatchdogStall);
     const size_t gb = active_gb_.load(std::memory_order_relaxed);
     const size_t ge = active_ge_.load(std::memory_order_relaxed);
     std::fprintf(stderr,
@@ -311,6 +313,7 @@ void Rebalancer::AcquireGatesAndDrain(Structure* snap, size_t nb, size_t ne,
 }
 
 void Rebalancer::HandleWindowWork(const Request& req) {
+  TailSpan tail_span(TailEvent::kRebalanceWindow);
   Progress("window:start");
   Structure* snap = pma_->structure_.load(std::memory_order_acquire);
   if (snap->version != req.version) return;  // resized since: gate retired
@@ -483,6 +486,7 @@ void Rebalancer::UpdateFences(Structure* snap, size_t gb, size_t ge) {
 }
 
 bool Rebalancer::ExecuteResize(Structure* snap, std::deque<GateOp> extra) {
+  TailSpan tail_span(TailEvent::kResize);
   Storage* st = snap->storage.get();
   // Drain every combining queue; those updates are merged into the new
   // array in one pass (then the queues' gates die with the snapshot).

@@ -1,6 +1,11 @@
 // Graph analytics over the dynamic CRS graph. These are the "readers"
 // of the paper's motivating workload: they run as ordinary scan clients
 // of the underlying PMA, concurrently with edge updates.
+//
+// All algorithms take a GraphView (ISSUE 10): pass the DynamicGraph for
+// live analytics (each scan individually consistent, relaxed snapshot
+// semantics across scans — as in the paper) or a GraphSnapshot for
+// frozen, exactly-reproducible analytics over one point-in-time cut.
 
 #pragma once
 
@@ -14,16 +19,17 @@ namespace cpma {
 constexpr uint32_t kUnreachable = UINT32_MAX;
 
 /// Breadth-first search from `source`; returns hop distances per vertex
-/// (kUnreachable for vertices not reached). Snapshot semantics are
-/// relaxed under concurrent updates (as in the paper's analytics).
-std::vector<uint32_t> Bfs(const DynamicGraph& g, VertexId source);
+/// (kUnreachable for vertices not reached).
+std::vector<uint32_t> Bfs(const GraphView& g, VertexId source);
 
 /// PageRank with uniform teleport (damping 0.85), `iterations` rounds.
-std::vector<double> PageRank(const DynamicGraph& g, int iterations);
+/// Out-degrees are computed in one edge pass up front (on a live view a
+/// degree is therefore fixed at that pass's cut for all iterations).
+std::vector<double> PageRank(const GraphView& g, int iterations);
 
 /// Connected components (on the undirected view) via label propagation;
 /// returns the component label per vertex.
-std::vector<VertexId> ConnectedComponents(const DynamicGraph& g,
+std::vector<VertexId> ConnectedComponents(const GraphView& g,
                                           int max_rounds = 64);
 
 }  // namespace cpma

@@ -44,4 +44,31 @@ size_t DynamicGraph::OutDegree(VertexId src) const {
   return n;
 }
 
+std::unique_ptr<GraphSnapshot> DynamicGraph::Snapshot() const {
+  // Capture the cut first, then read the vertex bound: NoteVertex
+  // precedes the edge insert, so any edge that made the cut had both
+  // endpoints noted before it — a bound read after the capture covers
+  // every edge in the cut. It may over-cover with ids whose edges
+  // missed the cut; those are just isolated vertices to the analytics.
+  auto snap = edges_.Snapshot();
+  return std::make_unique<GraphSnapshot>(std::move(snap), NumVertices());
+}
+
+void GraphSnapshot::ForEachNeighbor(
+    VertexId src, const std::function<bool(VertexId, Value)>& cb) const {
+  const Key lo = DynamicGraph::EdgeKey(src, 0);
+  const Key hi = DynamicGraph::EdgeKey(src, UINT32_MAX);
+  snap_->Scan(lo, hi, [&](Key k, Value v) {
+    return cb(static_cast<VertexId>(k & 0xFFFFFFFFu), v);
+  });
+}
+
+void GraphSnapshot::ForEachEdge(
+    const std::function<bool(VertexId, VertexId, Value)>& cb) const {
+  snap_->Scan(0, kKeyMax, [&](Key k, Value v) {
+    return cb(static_cast<VertexId>(k >> 32),
+              static_cast<VertexId>(k & 0xFFFFFFFFu), v);
+  });
+}
+
 }  // namespace cpma

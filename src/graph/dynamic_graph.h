@@ -11,21 +11,57 @@
 // so analytics (BFS, PageRank, ...) run concurrently with edge updates,
 // which is precisely the workload class the paper's introduction
 // motivates (ride sharing, dashboards, network monitoring).
+//
+// Analytics consume the graph through GraphView (ISSUE 10), which has
+// two implementations with different consistency contracts:
+//  - DynamicGraph itself: live optimistic reads. Each neighbour scan is
+//    individually consistent (seqlock-validated), but an algorithm's
+//    successive scans may observe different cuts of a churning graph —
+//    the paper's relaxed analytics semantics.
+//  - GraphSnapshot: a frozen O(1) COW snapshot (ISSUE 9) of the edge
+//    PMA. Every scan sees the same point-in-time cut with structurally
+//    zero retries, so a whole BFS/PageRank is exactly reproducible
+//    while writers keep storming the live graph.
 
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "concurrent/concurrent_pma.h"
+#include "concurrent/snapshot.h"
 
 namespace cpma {
 
 using VertexId = uint32_t;
 
-class DynamicGraph {
+/// Read interface the analytics run against: a vertex-count bound plus
+/// ordered edge iteration. Implemented by the live DynamicGraph and by
+/// the frozen GraphSnapshot.
+class GraphView {
+ public:
+  virtual ~GraphView() = default;
+
+  /// Upper bound on vertex ids (+1). Vertices without edges in the view
+  /// are simply unreachable/dangling for the algorithms.
+  virtual VertexId NumVertices() const = 0;
+
+  /// Visit dst/weight of every outgoing edge of src, ascending by dst.
+  /// Return false from the callback to stop early.
+  virtual void ForEachNeighbor(
+      VertexId src, const std::function<bool(VertexId, Value)>& cb) const = 0;
+
+  /// Visit every edge (src, dst, weight) in CRS order.
+  virtual void ForEachEdge(
+      const std::function<bool(VertexId, VertexId, Value)>& cb) const = 0;
+};
+
+class GraphSnapshot;
+
+class DynamicGraph : public GraphView {
  public:
   explicit DynamicGraph(const ConcurrentConfig& config = ConcurrentConfig());
 
@@ -38,15 +74,12 @@ class DynamicGraph {
   /// True and *weight set if src -> dst exists.
   bool HasEdge(VertexId src, VertexId dst, Value* weight = nullptr) const;
 
-  /// Visit dst/weight of every outgoing edge of src, ascending by dst.
-  /// Return false from the callback to stop early.
   void ForEachNeighbor(
       VertexId src,
-      const std::function<bool(VertexId, Value)>& cb) const;
+      const std::function<bool(VertexId, Value)>& cb) const override;
 
-  /// Visit every edge (src, dst, weight) in CRS order.
   void ForEachEdge(const std::function<bool(VertexId, VertexId, Value)>& cb)
-      const;
+      const override;
 
   /// Out-degree of src (range-scan count).
   size_t OutDegree(VertexId src) const;
@@ -54,9 +87,15 @@ class DynamicGraph {
   size_t NumEdges() const { return edges_.Size(); }
 
   /// Upper bound on vertex ids seen so far (+1).
-  VertexId NumVertices() const {
+  VertexId NumVertices() const override {
     return max_vertex_.load(std::memory_order_relaxed) + 1;
   }
+
+  /// Frozen point-in-time view of the edge set (O(1) COW capture, no
+  /// stop-the-world; see concurrent/snapshot.h). Writers racing the
+  /// capture linearize to one side of the cut. Async-queued edges not
+  /// yet applied are not in the cut — Flush() first to pin them in.
+  std::unique_ptr<GraphSnapshot> Snapshot() const;
 
   /// Wait for asynchronously queued edge updates to apply.
   void Flush() { edges_.Flush(); }
@@ -78,6 +117,36 @@ class DynamicGraph {
 
   ConcurrentPMA edges_;
   std::atomic<VertexId> max_vertex_{0};
+};
+
+/// Frozen graph view over a PMASnapshot of the edge PMA: same CRS
+/// iteration as the live graph, but every scan observes one immutable
+/// cut and never retries. The vertex-id bound is captured at snapshot
+/// time (an upper bound: NoteVertex precedes the edge insert, so every
+/// edge in the cut has both endpoints below it).
+class GraphSnapshot : public GraphView {
+ public:
+  GraphSnapshot(std::unique_ptr<PMASnapshot> snap, VertexId num_vertices)
+      : snap_(std::move(snap)), num_vertices_(num_vertices) {}
+
+  VertexId NumVertices() const override { return num_vertices_; }
+
+  void ForEachNeighbor(
+      VertexId src,
+      const std::function<bool(VertexId, Value)>& cb) const override;
+
+  void ForEachEdge(const std::function<bool(VertexId, VertexId, Value)>& cb)
+      const override;
+
+  /// Edges in the frozen cut (counted).
+  uint64_t NumEdges() const { return snap_->CountItems(); }
+
+  /// The underlying frozen PMA view (stamp, scan_retries, ...).
+  const PMASnapshot& snapshot() const { return *snap_; }
+
+ private:
+  std::unique_ptr<PMASnapshot> snap_;
+  VertexId num_vertices_;
 };
 
 }  // namespace cpma

@@ -11,6 +11,7 @@
 
 #include "common/pin.h"
 #include "common/timer.h"
+#include "concurrent/event_ring.h"
 
 namespace cpma {
 
@@ -203,7 +204,10 @@ void ShardedPMA::FlushSlotShard(ProducerSlot* slot, size_t shard_idx,
     run.swap(slot->per_shard[shard_idx].ops);
   }
   if (run.empty()) return;
-  shards_[shard_idx]->UpdateBatch(run.data(), run.size());
+  {
+    TailSpan tail_span(TailEvent::kCoalesceFlush);
+    shards_[shard_idx]->UpdateBatch(run.data(), run.size());
+  }
   stat_coalesced_flushes_.fetch_add(1, std::memory_order_relaxed);
   stat_coalesced_ops_.fetch_add(run.size(), std::memory_order_relaxed);
   if (from_ager) {
